@@ -1,0 +1,62 @@
+"""Ablation: vectorised vs literal control-matrix maintenance.
+
+The paper lists "efficient parallel computation ... of the control
+matrix" as future work.  Our production maintenance is numpy-vectorised
+(whole-column operations); :mod:`repro.core.reference` transcribes the
+Theorem 2 rules literally.  This bench quantifies the gap at Table 1
+scale — the answer to whether the server can afford per-commit matrix
+updates at all.
+"""
+
+import pytest
+
+from repro.core.control_matrix import ControlMatrix
+from repro.core.reference import ReferenceControlMatrix
+from repro.server.workload import ServerWorkload
+
+N = 300
+COMMITS = 120
+
+
+def _specs():
+    workload = ServerWorkload(N, length=8, read_probability=0.5, seed=4)
+    return [workload.next_transaction() for _ in range(COMMITS)]
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return _specs()
+
+
+def test_bench_vectorised_engine(benchmark, specs):
+    def run():
+        cm = ControlMatrix(N)
+        for cycle, spec in enumerate(specs, start=1):
+            cm.apply_commit(cycle, spec.read_set, spec.write_set)
+        return cm
+
+    cm = benchmark(run)
+    assert cm.num_objects == N
+
+
+def test_bench_reference_engine(benchmark, specs):
+    def run():
+        cm = ReferenceControlMatrix(N)
+        for cycle, spec in enumerate(specs, start=1):
+            cm.apply_commit(cycle, spec.read_set, spec.write_set)
+        return cm
+
+    cm = benchmark(run)
+    assert cm.num_objects == N
+
+
+def test_engines_agree(benchmark, specs):
+    def diff():
+        fast, slow = ControlMatrix(N), ReferenceControlMatrix(N)
+        for cycle, spec in enumerate(specs[:20], start=1):
+            fast.apply_commit(cycle, spec.read_set, spec.write_set)
+            slow.apply_commit(cycle, spec.read_set, spec.write_set)
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(diff, rounds=1, iterations=1)
+    assert fast.array.tolist() == slow.rows()

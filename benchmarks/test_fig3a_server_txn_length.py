@@ -1,0 +1,83 @@
+"""Figure 3(a): response time vs server transaction length.
+
+Paper shape (Sec. 4.3): longer server transactions mean more updates per
+cycle, so response times rise — but F-Matrix shows very little increase
+compared to R-Matrix and especially Datacycle.
+
+Two operating points are benchmarked:
+
+* the paper's Table 1 defaults (client length 4).  There, abort rates
+  are low and our simulation charges F-Matrix's full 23% control-
+  broadcast overhead, so F-Matrix and R-Matrix run neck and neck (the
+  paper separates them more; see EXPERIMENTS.md §deviations).  The
+  robust claims — Datacycle worst and steepest, F-Matrix flattest —
+  hold and are asserted.
+* client length 8, where aborts dominate and the paper's full
+  F < R < Datacycle ordering is unambiguous; asserted strictly.
+"""
+
+from repro.experiments.figures import fig3a_server_txn_length
+from repro.experiments.report import format_table
+
+from .conftest import run_once
+
+LENGTHS = (2, 4, 8, 12, 16)
+
+
+def test_fig3a_server_txn_length_table1(benchmark, bench_txns, bench_seed):
+    result = run_once(
+        benchmark,
+        lambda: fig3a_server_txn_length(bench_txns, lengths=LENGTHS, seed=bench_seed),
+    )
+    print()
+    print(format_table(result))
+
+    fm = result.series["f-matrix"]
+    rm = result.series["r-matrix"]
+    dc = result.series["datacycle"]
+
+    # response time rises with server transaction length for the strict
+    # protocols
+    assert dc.response_at(16) > dc.response_at(2)
+    assert rm.response_at(16) > rm.response_at(2)
+
+    # Datacycle is the worst protocol under heavy update load
+    assert dc.response_at(16) > rm.response_at(16)
+    assert dc.response_at(16) > fm.response_at(16)
+
+    # F-Matrix tracks R-Matrix within its control-info overhead band
+    assert fm.response_at(16) < 1.35 * rm.response_at(16)
+
+    # scalability: F-Matrix's rise is far below Datacycle's
+    growth = lambda s: s.response_at(16) / s.response_at(2)
+    assert growth(fm) < growth(dc)
+
+    # Datacycle restarts dwarf everyone else's
+    assert dc.restart_at(16) > 2 * rm.restart_at(16)
+    assert fm.restart_at(16) < rm.restart_at(16) + 0.5
+
+
+def test_fig3a_server_txn_length_len8(benchmark, bench_txns, bench_seed):
+    result = run_once(
+        benchmark,
+        lambda: fig3a_server_txn_length(
+            max(bench_txns // 2, 40),
+            lengths=(2, 8, 16),
+            client_txn_length=8,
+            seed=bench_seed,
+        ),
+    )
+    print()
+    print(format_table(result))
+
+    fm = result.series["f-matrix"]
+    rm = result.series["r-matrix"]
+    dc = result.series["datacycle"]
+
+    # the paper's headline ordering, unambiguous once aborts dominate
+    assert fm.response_at(16) < rm.response_at(16) < dc.response_at(16)
+    assert fm.response_at(8) < rm.response_at(8) < dc.response_at(8)
+
+    # F-Matrix's rise is the smallest of the realizable protocols
+    growth = lambda s: s.response_at(16) / s.response_at(2)
+    assert growth(fm) < growth(rm) < growth(dc)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Road-traffic dissemination: hot arterials on a multi-speed disk.
+
+The paper's introduction names "next generation road traffic management
+systems" among the applications.  Model: a city broadcasts per-segment
+congestion records; navigation clients read the few segments of a route
+as one read-only transaction (a route must be *mutually consistent* — no
+mixing of pre- and post-incident states across segments); sensor feeds
+commit updates at the server.  Most queries hit the arterial 10% of
+segments, which a two-speed broadcast disk spins 6× faster.
+
+This example exercises the extension surface of the library on one
+realistic scenario:
+
+* multi-speed layout + skewed client access,
+* F-Matrix consistency off the air,
+* replicated runs with honest cross-replication confidence intervals,
+* the tuning-time (battery) metric,
+* an ASCII chart of the sweep.
+
+Run:  python examples/road_traffic.py
+"""
+
+from repro.experiments.plotting import render_chart
+from repro.experiments.sweeps import ExperimentResult, Point, Series
+from repro.sim import SimulationConfig, replicate, run_simulation
+
+SEGMENTS = 150          # city road segments in the broadcast
+ARTERIAL_FRACTION = 0.1 # the hot 10%
+ROUTE_LENGTH = 5        # segments per navigation query
+
+
+def base_config(**overrides) -> SimulationConfig:
+    params = dict(
+        protocol="f-matrix",
+        num_objects=SEGMENTS,
+        client_txn_length=ROUTE_LENGTH,
+        server_txn_length=6,          # one sensor batch touches 6 segments
+        server_txn_interval=400_000.0,
+        object_size_bits=2048,        # a congestion record
+        num_client_transactions=120,
+        client_access_skew=0.85,      # most queries on arterials
+        hot_fraction=ARTERIAL_FRACTION,
+        seed=7,
+    )
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+def main() -> None:
+    print(f"{SEGMENTS} road segments, {ROUTE_LENGTH}-segment route queries,")
+    print("85% of reads on the arterial 10% of segments\n")
+
+    result = ExperimentResult("road-traffic", "hot-disk speed-up")
+    series = Series("f-matrix")
+    for frequency in (1, 2, 4, 6):
+        if frequency == 1:
+            cfg = base_config()
+        else:
+            cfg = base_config(layout_kind="multi-disk", hot_frequency=frequency)
+        pooled = replicate(cfg, replications=3)
+        one = run_simulation(cfg)
+        series.points.append(
+            Point(
+                float(frequency),
+                pooled.response_time,
+                pooled.restart_ratio,
+                one.sim_time,
+                one.events,
+            )
+        )
+        print(
+            f"hot disk x{frequency}: route response "
+            f"{pooled.response_time.mean / 1e6:6.3f}M ± "
+            f"{pooled.response_time.ci_halfwidth / 1e6:5.3f}M bit-units "
+            f"(3 replications), listening/route "
+            f"{one.metrics.mean_listening_per_commit():8.0f} bits"
+        )
+    result.series["f-matrix"] = series
+
+    print()
+    print(render_chart(result, height=10, width=48))
+    fastest = series.points[-1].response_time.mean
+    flat = series.points[0].response_time.mean
+    print(
+        f"spinning arterials 6x faster cuts route latency "
+        f"{flat / fastest:.1f}x — and every route stays update consistent."
+    )
+
+
+if __name__ == "__main__":
+    main()

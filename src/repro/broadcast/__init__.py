@@ -1,0 +1,22 @@
+"""Broadcast-disk substrate: layouts, control-information sizing and the
+per-cycle broadcast image."""
+
+from .control_info import ControlInfoScheme, scheme_for_protocol
+from .delta import DeltaDecoder, DeltaEncoder, DeltaFrame, DesyncError
+from .layout import BroadcastLayout, FlatLayout, MultiDiskLayout, SlotHit
+from .program import BroadcastCycle, ObjectVersion
+
+__all__ = [
+    "ControlInfoScheme",
+    "scheme_for_protocol",
+    "DeltaEncoder",
+    "DeltaDecoder",
+    "DeltaFrame",
+    "DesyncError",
+    "BroadcastLayout",
+    "FlatLayout",
+    "MultiDiskLayout",
+    "SlotHit",
+    "BroadcastCycle",
+    "ObjectVersion",
+]

@@ -1,0 +1,23 @@
+"""Client substrate: transaction runtimes (read-only and update) and the
+quasi-cache for weak currency requirements."""
+
+from .cache import CacheEntry, QuasiCache
+from .session import ClientSession, ConsistencyAbort, SessionTransaction
+from .runtime import (
+    ClientUpdateTransactionRuntime,
+    ReadOnlyTransactionRuntime,
+    ReadOutcome,
+    TransactionAborted,
+)
+
+__all__ = [
+    "ReadOnlyTransactionRuntime",
+    "ClientUpdateTransactionRuntime",
+    "ReadOutcome",
+    "TransactionAborted",
+    "QuasiCache",
+    "CacheEntry",
+    "ClientSession",
+    "SessionTransaction",
+    "ConsistencyAbort",
+]

@@ -1,0 +1,136 @@
+"""Quasi-caching for weak currency requirements (Sec. 3.3).
+
+If a client only needs data current to within ``T`` time units, objects
+read off the broadcast may be cached and served locally until their
+currency expires — *without any communication*: invalidation is purely
+local.  To keep transactions mutually consistent when they mix cached and
+fresh reads, each cache entry stores the control information that
+accompanied the object when it was cached (for F-Matrix, the object's
+matrix column; we retain the whole immutable per-cycle snapshot, of which
+a real client would keep just the relevant column/vector).  A cached read
+is then validated through the *same* read-condition code path as an
+off-air read, anchored at the cached cycle.
+
+Currency bounds are per client *and* per object ("the invalidation
+interval can be tailored on a per client per object basis").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..broadcast.program import BroadcastCycle, ObjectVersion
+from ..core.validators import ControlSnapshot
+
+__all__ = ["CacheEntry", "QuasiCache"]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached object version plus its validation context."""
+
+    version: ObjectVersion
+    snapshot: ControlSnapshot
+    #: bit-time at which the entry was cached (start of staleness clock)
+    cached_at: float
+
+    @property
+    def obj(self) -> int:
+        return self.version.obj
+
+    @property
+    def cached_cycle(self) -> int:
+        return self.snapshot.cycle
+
+    def as_broadcast(self) -> BroadcastCycle:
+        """Present the entry as a one-object broadcast for the runtime.
+
+        The runtime indexes ``versions`` by object id, so pad with the
+        entry at its own position only — accessing other objects through a
+        cache-entry broadcast is a bug and raises ``IndexError``.
+        """
+        versions = tuple(
+            self.version if i == self.version.obj else None  # type: ignore[misc]
+            for i in range(self.version.obj + 1)
+        )
+        return BroadcastCycle(self.snapshot.cycle, versions, self.snapshot)
+
+
+class QuasiCache:
+    """Per-client object cache with local, currency-based invalidation."""
+
+    def __init__(
+        self,
+        default_currency_bound: float,
+        *,
+        capacity: Optional[int] = None,
+    ):
+        if default_currency_bound < 0:
+            raise ValueError("currency bound must be non-negative")
+        self.default_currency_bound = default_currency_bound
+        self.capacity = capacity
+        self._entries: Dict[int, CacheEntry] = {}
+        self._bounds: Dict[int, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def set_currency_bound(self, obj: int, bound: float) -> None:
+        """Tailor the invalidation interval for one object."""
+        if bound < 0:
+            raise ValueError("currency bound must be non-negative")
+        self._bounds[obj] = bound
+
+    def currency_bound(self, obj: int) -> float:
+        return self._bounds.get(obj, self.default_currency_bound)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, obj: int) -> bool:
+        return obj in self._entries
+
+    # ------------------------------------------------------------------
+    def insert(self, broadcast: BroadcastCycle, obj: int, now: float) -> CacheEntry:
+        """Cache an object just read from a broadcast cycle."""
+        entry = CacheEntry(broadcast.version(obj), broadcast.snapshot, now)
+        if (
+            self.capacity is not None
+            and obj not in self._entries
+            and len(self._entries) >= self.capacity
+        ):
+            # evict the stalest entry (oldest cached_at) — [2]-style policy
+            evict = min(self._entries.values(), key=lambda e: e.cached_at)
+            del self._entries[evict.obj]
+        self._entries[obj] = entry
+        return entry
+
+    def lookup(self, obj: int, now: float) -> Optional[CacheEntry]:
+        """A fresh-enough entry, or None.  Expired entries are dropped."""
+        entry = self._entries.get(obj)
+        if entry is None:
+            self.misses += 1
+            return None
+        if now - entry.cached_at > self.currency_bound(obj):
+            del self._entries[obj]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def evict(self, obj: int) -> bool:
+        """Drop one entry (e.g. after it was implicated in a failed
+        validation — keeping it would just re-abort the retry)."""
+        return self._entries.pop(obj, None) is not None
+
+    def expire(self, now: float) -> int:
+        """Drop every entry past its currency bound; returns count dropped."""
+        stale = [
+            obj
+            for obj, entry in self._entries.items()
+            if now - entry.cached_at > self.currency_bound(obj)
+        ]
+        for obj in stale:
+            del self._entries[obj]
+        return len(stale)

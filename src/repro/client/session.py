@@ -1,0 +1,197 @@
+"""High-level client sessions: the API a downstream application uses.
+
+The runtimes in :mod:`repro.client.runtime` are deliberately low-level
+(the simulator drives them event by event).  Applications that just want
+"give me a consistent view of these objects off the current broadcast"
+get :class:`ClientSession`:
+
+    session = ClientSession(make_validator("f-matrix"))
+    session.observe(broadcast)               # each cycle heard
+
+    with session.read_only("audit") as txn:
+        high_bid = txn.read(HIGH_BID)
+        count = txn.read(BID_COUNT)
+    # exiting the block commits; ConsistencyAbort raises out of it
+
+    with session.update("bid") as txn:
+        current = txn.read(HIGH_BID)
+        txn.write(HIGH_BID, current + 5)
+    outcome = server.submit_client_update(txn.submission())
+
+A rejected read raises :class:`ConsistencyAbort` inside the block;
+:meth:`ClientSession.run_with_retries` wraps the whole closure with the
+restart loop the paper's clients perform.  The session also owns an
+optional :class:`repro.client.cache.QuasiCache` and consults it before
+the broadcast, preserving the weak-currency semantics of Sec. 3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TypeVar
+
+from ..broadcast.program import BroadcastCycle
+from ..core.validators import ReadValidator
+from .cache import QuasiCache
+from .runtime import ClientUpdateTransactionRuntime, ReadOnlyTransactionRuntime
+
+__all__ = ["ConsistencyAbort", "SessionTransaction", "ClientSession"]
+
+T = TypeVar("T")
+
+
+class ConsistencyAbort(Exception):
+    """A read failed protocol validation; restart the transaction."""
+
+    def __init__(self, tid: str, obj: int):
+        super().__init__(f"{tid}: read of object {obj} failed validation")
+        self.tid = tid
+        self.obj = obj
+
+
+class SessionTransaction:
+    """A dynamically scoped transaction: reads declared as they happen.
+
+    Unlike the runtimes (whose read *program* is fixed up front), a
+    session transaction discovers its reads dynamically — matching how
+    an application actually behaves — and the session supplies the
+    broadcast image for each one.
+    """
+
+    def __init__(self, session: "ClientSession", tid: str, *, update: bool):
+        self._session = session
+        self.tid = tid
+        self.is_update = update
+        self._validator = session.validator
+        self._values: Dict[int, object] = {}
+        self._writes: Dict[int, object] = {}
+        self._reads: list = []
+        self.committed = False
+        self.aborted = False
+
+    # ------------------------------------------------------------------
+    def read(self, obj: int) -> object:
+        """Read ``obj`` with protocol validation; raises on rejection."""
+        if self.committed or self.aborted:
+            raise RuntimeError(f"{self.tid}: transaction already finished")
+        if obj in self._values:  # the model reads an object once
+            return self._values[obj]
+        if obj in self._writes:
+            return self._writes[obj]
+        broadcast = self._session._source_for(obj)
+        if not self._validator.validate_read(obj, broadcast.snapshot):
+            self.aborted = True
+            raise ConsistencyAbort(self.tid, obj)
+        version = broadcast.version(obj)
+        self._values[obj] = version.value
+        self._reads.append((obj, broadcast.snapshot.cycle))
+        return version.value
+
+    def write(self, obj: int, value: object) -> None:
+        if not self.is_update:
+            raise RuntimeError(f"{self.tid}: read-only transaction cannot write")
+        if self.committed or self.aborted:
+            raise RuntimeError(f"{self.tid}: transaction already finished")
+        self._writes[obj] = value
+
+    @property
+    def reads(self):
+        return tuple(self._reads)
+
+    def submission(self):
+        """The uplink message for an update transaction (after commit)."""
+        from ..server.validation import UpdateSubmission
+
+        if not self.is_update:
+            raise RuntimeError("read-only transactions submit nothing")
+        return UpdateSubmission(
+            self.tid, reads=self.reads, writes=tuple(sorted(self._writes.items()))
+        )
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SessionTransaction":
+        self._validator.begin()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.committed = True
+        else:
+            self.aborted = True
+        return False  # propagate ConsistencyAbort and friends
+
+
+class ClientSession:
+    """Owns the validator, the latest broadcast, and an optional cache."""
+
+    def __init__(
+        self,
+        validator: ReadValidator,
+        *,
+        cache: Optional[QuasiCache] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.validator = validator
+        self.cache = cache
+        self._clock = clock or (lambda: 0.0)
+        self._broadcast: Optional[BroadcastCycle] = None
+        self._serial = 0
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, broadcast: BroadcastCycle) -> None:
+        """Install the cycle currently on the air."""
+        self._broadcast = broadcast
+
+    def prefetch(self, obj: int) -> None:
+        """Cache an object (and its control slice) from the current cycle."""
+        if self.cache is None:
+            raise RuntimeError("session has no cache")
+        if self._broadcast is None:
+            raise RuntimeError("no broadcast observed yet")
+        self.cache.insert(self._broadcast, obj, self._clock())
+
+    def _source_for(self, obj: int) -> BroadcastCycle:
+        if self.cache is not None:
+            entry = self.cache.lookup(obj, self._clock())
+            if entry is not None:
+                return entry.as_broadcast()
+        if self._broadcast is None:
+            raise RuntimeError("no broadcast observed yet")
+        return self._broadcast
+
+    # ------------------------------------------------------------------
+    def read_only(self, name: Optional[str] = None) -> SessionTransaction:
+        self._serial += 1
+        return SessionTransaction(
+            self, name or f"ro{self._serial}", update=False
+        )
+
+    def update(self, name: Optional[str] = None) -> SessionTransaction:
+        self._serial += 1
+        return SessionTransaction(self, name or f"up{self._serial}", update=True)
+
+    # ------------------------------------------------------------------
+    def run_with_retries(
+        self,
+        body: Callable[[SessionTransaction], T],
+        *,
+        update: bool = False,
+        max_attempts: int = 100,
+        name: Optional[str] = None,
+    ) -> T:
+        """Run ``body`` in a transaction, restarting on consistency aborts.
+
+        The caller is expected to :meth:`observe` fresh cycles between
+        attempts (e.g. from its broadcast loop); with a static broadcast
+        a rejected read would just re-reject, so the loop raises after
+        ``max_attempts``.
+        """
+        for _attempt in range(max_attempts):
+            txn = self.update(name) if update else self.read_only(name)
+            try:
+                with txn:
+                    return body(txn)
+            except ConsistencyAbort:
+                self.restarts += 1
+                continue
+        raise RuntimeError(f"transaction did not commit in {max_attempts} attempts")

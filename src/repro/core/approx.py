@@ -1,0 +1,85 @@
+"""APPROX: the paper's polynomial-time legality test (Section 3.1).
+
+A history ``H`` is accepted iff
+
+1. ``H_update`` is conflict serializable, and
+2. for every read-only transaction ``t_R`` in ``H``, the serialization
+   graph ``S_H(t_R)`` over ``LIVE_H(t_R)`` is acyclic.
+
+APPROX accepts a *proper subset* of the legal (update-consistent) histories
+(Theorem 6) and runs in polynomial time (Theorem 7).  The property-based
+tests assert the inclusion against :mod:`repro.core.legality` on random
+small histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .model import History
+from .serialgraph import (
+    conflict_graph,
+    reader_serialization_graph,
+)
+
+__all__ = ["ApproxReport", "approx_accepts", "approx_report"]
+
+
+@dataclass(frozen=True)
+class ApproxReport:
+    """Detailed outcome of running APPROX on a history."""
+
+    accepted: bool
+    update_serialization_order: Optional[Tuple[str, ...]]
+    reader_verdicts: Dict[str, bool] = field(default_factory=dict)
+    #: a cycle in H_update's conflict graph, when condition 1 fails
+    update_cycle: Optional[Tuple[str, ...]] = None
+    #: per-reader cycle in S_H(t_R), when condition 2 fails for that reader
+    reader_cycles: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def rejected_readers(self) -> Tuple[str, ...]:
+        return tuple(t for t, ok in sorted(self.reader_verdicts.items()) if not ok)
+
+
+def approx_report(history: History) -> ApproxReport:
+    """Run APPROX, returning per-condition diagnostics.
+
+    Only committed transactions are considered (a scheduler decides
+    legality over the committed projection); aborted transactions neither
+    constrain the update sub-history nor count as readers.
+    """
+    committed = history.committed_projection()
+    update = committed.update_subhistory()
+    graph = conflict_graph(update)
+    order = graph.topological_order()
+    if order is None:
+        cycle = graph.find_cycle()
+        return ApproxReport(
+            accepted=False,
+            update_serialization_order=None,
+            update_cycle=tuple(cycle) if cycle else None,
+        )
+
+    verdicts: Dict[str, bool] = {}
+    cycles: Dict[str, Tuple[str, ...]] = {}
+    for tid in committed.read_only_transactions():
+        sg = reader_serialization_graph(committed, tid)
+        ok = sg.is_acyclic()
+        verdicts[tid] = ok
+        if not ok:
+            cyc = sg.find_cycle()
+            if cyc:
+                cycles[tid] = tuple(cyc)
+    return ApproxReport(
+        accepted=all(verdicts.values()),
+        update_serialization_order=tuple(order),
+        reader_verdicts=verdicts,
+        reader_cycles=cycles,
+    )
+
+
+def approx_accepts(history: History) -> bool:
+    """True iff APPROX accepts ``history`` (Section 3.1)."""
+    return approx_report(history).accepted

@@ -1,0 +1,117 @@
+"""Human-readable diagnosis of histories against the paper's criteria.
+
+:func:`explain_history` walks the Figure 1 lattice on a history and
+produces a narrative a developer can read: which criteria hold, the
+serialization-order certificates when they do, and concrete culprits
+(conflict cycles, rejected readers, their live sets) when they don't.
+Used by examples and handy in a REPL::
+
+    >>> from repro.core import parse_history
+    >>> from repro.core.explain import explain_history
+    >>> h = parse_history("r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3")
+    >>> print(explain_history(h))          # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional
+
+from .approx import approx_report
+from .legality import legality_report
+from .model import History
+from .readsfrom import live_set
+from .serialgraph import conflict_graph
+from .viewser import ViewSerializabilityLimitError
+
+__all__ = ["explain_history"]
+
+
+def _fmt_order(order) -> str:
+    return " ; ".join(order)
+
+
+def explain_history(history: History, *, exact: bool = True) -> str:
+    """A multi-line report on the history's standing in the criteria
+    lattice.  ``exact=False`` skips the (potentially exponential)
+    view-serializability/polygraph legality check."""
+    out = io.StringIO()
+    committed = history.committed_projection()
+    out.write(f"history: {history}\n")
+    readers = committed.read_only_transactions()
+    updaters = committed.update_transactions()
+    out.write(
+        f"committed transactions: {len(committed.transaction_ids)} "
+        f"({len(updaters)} update, {len(readers)} read-only)\n"
+    )
+
+    # 1. serializability of the whole history
+    whole = conflict_graph(committed)
+    order = whole.topological_order()
+    if order is not None:
+        out.write(f"conflict serializable: yes — order {_fmt_order(order)}\n")
+    else:
+        cycle = whole.find_cycle() or []
+        out.write(
+            "conflict serializable: NO — cycle "
+            + " -> ".join(cycle)
+            + "\n"
+        )
+
+    # 2. APPROX
+    report = approx_report(history)
+    if report.update_serialization_order is None:
+        out.write(
+            "APPROX: rejected — the update sub-history itself is not "
+            "conflict serializable"
+        )
+        if report.update_cycle:
+            out.write(f" (cycle {' -> '.join(report.update_cycle)})")
+        out.write("\n")
+    else:
+        out.write(
+            "update sub-history serializable: order "
+            f"{_fmt_order(report.update_serialization_order)}\n"
+        )
+        for reader, ok in sorted(report.reader_verdicts.items()):
+            live = sorted(live_set(committed, reader) - {reader})
+            if ok:
+                out.write(
+                    f"  reader {reader}: consistent with the updates it "
+                    f"depends on {live}\n"
+                )
+            else:
+                cycle = report.reader_cycles.get(reader, ())
+                out.write(
+                    f"  reader {reader}: INCONSISTENT — S({reader}) has "
+                    f"cycle {' -> '.join(cycle)} within {live}\n"
+                )
+        verdict = "accepted" if report.accepted else "rejected"
+        out.write(f"APPROX: {verdict}\n")
+
+    # 3. exact legality (Theorem 3)
+    if exact:
+        try:
+            legal = legality_report(history)
+        except ViewSerializabilityLimitError:
+            out.write("legal (update consistent): too large for the exact check\n")
+        else:
+            if legal.legal:
+                out.write("legal (update consistent): yes\n")
+                if not report.accepted:
+                    out.write(
+                        "  note: legal but APPROX-rejected — this history "
+                        "sits in the gap Theorem 6 proves non-empty\n"
+                    )
+            elif not legal.update_view_serializable:
+                out.write(
+                    "legal (update consistent): NO — updates not view "
+                    "serializable\n"
+                )
+            else:
+                out.write(
+                    "legal (update consistent): NO — readers "
+                    f"{', '.join(legal.rejected_readers)} have cyclic "
+                    "polygraphs\n"
+                )
+    return out.getvalue()

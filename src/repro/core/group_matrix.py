@@ -1,0 +1,164 @@
+"""Grouped control information: the F-Matrix ↔ R-Matrix spectrum (Sec. 3.2.2).
+
+Partitioning the database objects into ``g`` groups turns the ``n × n``
+control matrix into an ``n × g`` matrix ``MC(i, s) = max_{j ∈ s} C(i, j)``.
+Two extremes:
+
+* every group a singleton → F-Matrix (full matrix);
+* one group covering the database → a length-``n`` vector whose entry ``i``
+  is simply the last cycle in which a committed value was written to
+  ``ob_i`` — the state shared by the Datacycle and R-Matrix protocols.
+
+:class:`GroupedControlState` maintains the grouped matrix *incrementally*
+(without materialising the full ``C``), which is what a server configured
+with groups would actually run; :class:`LastWriteVector` is the dedicated
+one-group fast path used by the Datacycle/R-Matrix simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Partition",
+    "LastWriteVector",
+    "GroupedControlState",
+    "uniform_partition",
+]
+
+
+class Partition:
+    """A partition of object ids ``0..n-1`` into ordered groups."""
+
+    def __init__(self, groups: Sequence[Sequence[int]], num_objects: int):
+        seen: set = set()
+        self.groups: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(g)) for g in groups
+        )
+        for group in self.groups:
+            if not group:
+                raise ValueError("groups must be non-empty")
+            for member in group:
+                if member in seen:
+                    raise ValueError(f"object {member} in more than one group")
+                seen.add(member)
+        if seen != set(range(num_objects)):
+            raise ValueError("groups must partition 0..n-1")
+        self.num_objects = num_objects
+        self._group_of = np.empty(num_objects, dtype=np.int64)
+        for gidx, group in enumerate(self.groups):
+            for member in group:
+                self._group_of[member] = gidx
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def group_of(self, obj: int) -> int:
+        return int(self._group_of[obj])
+
+    def group_indices(self) -> np.ndarray:
+        """Vector mapping object id -> group index."""
+        return self._group_of.copy()
+
+
+def uniform_partition(num_objects: int, num_groups: int) -> Partition:
+    """Contiguous near-equal groups; ``num_groups == n`` gives singletons."""
+    if not 1 <= num_groups <= num_objects:
+        raise ValueError("need 1 <= num_groups <= num_objects")
+    bounds = np.linspace(0, num_objects, num_groups + 1).astype(int)
+    groups = [
+        list(range(bounds[k], bounds[k + 1]))
+        for k in range(num_groups)
+        if bounds[k] < bounds[k + 1]
+    ]
+    return Partition(groups, num_objects)
+
+
+class LastWriteVector:
+    """``MC(i, db)``: last commit cycle writing each object (one group).
+
+    This is the control state of both Datacycle and R-Matrix — their
+    protocols differ only in the client-side read condition.
+    """
+
+    def __init__(self, num_objects: int):
+        self._mc = np.zeros(num_objects, dtype=np.int64)
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._mc
+
+    def snapshot(self) -> np.ndarray:
+        return self._mc.copy()
+
+    def entry(self, i: int) -> int:
+        return int(self._mc[i])
+
+    def apply_commit(
+        self, commit_cycle: int, read_set: Iterable[int], write_set: Iterable[int]
+    ) -> None:
+        ws = list({w for w in write_set})
+        if ws:
+            self._mc[ws] = commit_cycle
+
+
+class GroupedControlState:
+    """Incrementally maintained ``n × g`` grouped matrix.
+
+    Maintains, for each group ``s``, the column
+    ``MC(·, s) = max_{j ∈ s} C(·, j)`` under the Theorem 2 commit rule.  A
+    subtlety: the full-matrix rule *overwrites* columns of written objects,
+    but a group's column is a max over members, so overwriting is only
+    exact when the group is a singleton.  For larger groups the column max
+    is monotone (old members' contributions may linger after being
+    overwritten in ``C``), which keeps the grouped state *conservative*:
+    ``MC(i, s) >= max_{j∈s} C(i, j)``, so every conflict the exact grouped
+    matrix reports is still reported and the protocol stays safe (it only
+    ever aborts more).  The exact recomputation used in tests lives in
+    :meth:`repro.core.control_matrix.ControlMatrix.reduce_to_groups`.
+    """
+
+    def __init__(self, partition: Partition):
+        self.partition = partition
+        n, g = partition.num_objects, partition.num_groups
+        self._mc = np.zeros((n, g), dtype=np.int64)
+        self._exact = partition.num_groups == partition.num_objects
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._mc
+
+    def snapshot(self) -> np.ndarray:
+        return self._mc.copy()
+
+    def entry(self, i: int, group: int) -> int:
+        return int(self._mc[i, group])
+
+    def apply_commit(
+        self, commit_cycle: int, read_set: Iterable[int], write_set: Iterable[int]
+    ) -> None:
+        ws = sorted({w for w in write_set})
+        if not ws:
+            return
+        rs = sorted({r for r in read_set})
+        part = self.partition
+        read_groups = sorted({part.group_of(r) for r in rs})
+        if read_groups:
+            # max over the groups containing read objects over-approximates
+            # max over read columns of C; exact when groups are singletons.
+            new_column = self._mc[:, read_groups].max(axis=1)
+        else:
+            new_column = np.zeros(part.num_objects, dtype=np.int64)
+        write_groups = sorted({part.group_of(w) for w in ws})
+        for gidx in write_groups:
+            if self._exact:
+                self._mc[:, gidx] = new_column
+            else:
+                np.maximum(self._mc[:, gidx], new_column, out=self._mc[:, gidx])
+        # writes dominate: entries (i ∈ WS, group of j ∈ WS) become the cycle
+        self._mc[np.ix_(ws, write_groups)] = np.maximum(
+            self._mc[np.ix_(ws, write_groups)], commit_cycle
+        )

@@ -1,0 +1,107 @@
+"""Hardware-latch variants of the vector protocols (Sec. 3.2.2).
+
+The paper notes the Datacycle implementation sets a *bit* in hardware
+whenever any previously read value changes, and that R-Matrix admits the
+same optimisation: "a bit could be set by hardware if any of the
+previously read values of a transaction are changed.  For a future read
+operation ... if the bit is set and if the object being read has been
+changed during or after the cycle in which the first read operation was
+performed, the transaction is aborted."
+
+These validators are *state-optimal*: instead of retaining ``R_t`` they
+keep O(1) state — the latch bit, the first-read cycle, and the set of
+objects read (needed only to feed the latch, as radio hardware would
+match addresses on the wire).  They must accept exactly the schedules
+their list-based counterparts accept; the test suite pins that
+equivalence on random schedules.
+
+The latch is fed by :meth:`observe_cycle`: the client hardware watches
+every broadcast cycle's vector and ORs in "some object I read changed".
+Because a value committed in cycle ``c`` first appears in cycle ``c+1``'s
+vector, observing each cycle's snapshot *including the one carrying the
+next read* reproduces the list-based ``MC(i) < cycle`` comparisons
+exactly (values are read as of the beginning of the read's cycle).
+
+These classes do not support quasi-cached (out-of-order) reads — real
+latch hardware monitors the live broadcast only — so they reject
+snapshots older than one already observed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from .validators import ControlSnapshot
+
+__all__ = ["HardwareDatacycleValidator", "HardwareRMatrixValidator"]
+
+
+class _LatchBase:
+    """Shared latch plumbing."""
+
+    name = "abstract-hardware"
+
+    def __init__(self) -> None:
+        self.begin()
+
+    def begin(self) -> None:
+        self.latch = False
+        self.first_read_cycle: Optional[int] = None
+        self._read_objects: Set[int] = set()
+        self._read_cycles: dict = {}
+        self._last_seen_cycle = 0
+
+    @property
+    def reads(self):
+        """(obj, cycle) pairs, for interface parity with ReadValidator."""
+        return sorted(self._read_cycles.items())
+
+    # ------------------------------------------------------------------
+    def observe_cycle(self, snapshot: ControlSnapshot) -> None:
+        """Feed one broadcast cycle's vector through the latch."""
+        assert snapshot.vector is not None, "hardware latch watches the vector"
+        if snapshot.cycle < self._last_seen_cycle:
+            raise ValueError("hardware latch cannot observe past cycles")
+        self._last_seen_cycle = snapshot.cycle
+        for obj, read_cycle in self._read_cycles.items():
+            if int(snapshot.vector[obj]) >= read_cycle:
+                self.latch = True
+                return
+
+    def _record(self, obj: int, snapshot: ControlSnapshot) -> None:
+        self._read_objects.add(obj)
+        self._read_cycles[obj] = snapshot.cycle
+        if self.first_read_cycle is None:
+            self.first_read_cycle = snapshot.cycle
+
+
+class HardwareDatacycleValidator(_LatchBase):
+    """Latch semantics of the Datacycle condition: abort a read as soon
+    as the latch is set."""
+
+    name = "hw-datacycle"
+
+    def validate_read(self, obj: int, snapshot: ControlSnapshot) -> bool:
+        self.observe_cycle(snapshot)
+        if self.latch:
+            return False
+        self._record(obj, snapshot)
+        return True
+
+
+class HardwareRMatrixValidator(_LatchBase):
+    """Latch semantics of the R-Matrix condition: a set latch is survived
+    iff the object being read is unchanged since the first read's cycle."""
+
+    name = "hw-r-matrix"
+
+    def validate_read(self, obj: int, snapshot: ControlSnapshot) -> bool:
+        self.observe_cycle(snapshot)
+        if self.latch:
+            assert snapshot.vector is not None
+            c1 = self.first_read_cycle
+            assert c1 is not None  # latch can only be set after a read
+            if int(snapshot.vector[obj]) >= c1:
+                return False
+        self._record(obj, snapshot)
+        return True

@@ -1,0 +1,132 @@
+"""Theorem 8 (Appendix D): the control matrix is worst-case incompressible.
+
+The theorem shows that, no matter the compression scheme, transmitting
+the F-Matrix control information costs Ω(n²·log(max_cycles)) bits per
+cycle in the worst case, because a quadratically large family of distinct
+``C`` matrices is *realisable*: every partial specification
+
+    C(i, j) arbitrary for i, j in the first (n-1)/2 objects,
+    subject to C(i, j) ≤ C(j, j)
+
+arises from an actual history of update transactions.  The proof's
+construction is executable here:
+
+* each object ``ob_k`` in the quadrant has a *twin* ``ob_{n-1-k}`` used
+  as a dependency accumulator, avoiding unwanted cross-column pollution;
+* for every non-zero off-diagonal entry ``C(i, j) = c`` a transaction
+  ``r[twin_j] w[ob_i] w[twin_j]`` commits in cycle ``c`` — it stamps "a
+  transaction affecting ``twin_j`` wrote ``ob_i`` at cycle ``c``" while
+  preserving the twin's earlier dependencies;
+* finally, per quadrant column ``j``, a transaction ``r[twin_j] w[ob_j]``
+  commits in the last cycle, transferring the twin's accumulated
+  dependency column onto ``ob_j`` itself.
+
+:func:`history_for_spec` emits the commit sequence;
+:func:`realize_spec` replays it through the real
+:class:`repro.core.control_matrix.ControlMatrix` and returns the final
+matrix — the tests assert the quadrant comes out exactly as specified,
+for random specifications, which is the theorem's counting argument made
+concrete.  :func:`worst_case_bits` is the resulting lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .control_matrix import ControlMatrix
+
+__all__ = [
+    "SpecCommit",
+    "quadrant_size",
+    "twin",
+    "validate_spec",
+    "history_for_spec",
+    "realize_spec",
+    "worst_case_bits",
+]
+
+
+@dataclass(frozen=True)
+class SpecCommit:
+    """One committed update transaction of the construction."""
+
+    tid: str
+    cycle: int
+    read_set: Tuple[int, ...]
+    write_set: Tuple[int, ...]
+
+
+def quadrant_size(num_objects: int) -> int:
+    """The (n-1)/2 freely-specifiable rows/columns (n odd per the proof)."""
+    if num_objects < 3 or num_objects % 2 == 0:
+        raise ValueError("the construction wants an odd n >= 3")
+    return (num_objects - 1) // 2
+
+
+def twin(obj: int, num_objects: int) -> int:
+    """The dependency-accumulator twin of a quadrant object."""
+    return num_objects - 1 - obj
+
+
+def validate_spec(
+    spec: Dict[Tuple[int, int], int], num_objects: int, max_cycle: int
+) -> None:
+    """Check a partial specification against the theorem's constraints."""
+    m = quadrant_size(num_objects)
+    for (i, j), cycle in spec.items():
+        if not (0 <= i < m and 0 <= j < m):
+            raise ValueError(f"entry ({i},{j}) outside the {m}x{m} quadrant")
+        if i == j:
+            raise ValueError("diagonal entries are fixed to max_cycle by the construction")
+        if not 0 <= cycle < max_cycle:
+            raise ValueError(
+                f"entry ({i},{j})={cycle} violates 0 <= C(i,j) < C(j,j) = {max_cycle}"
+            )
+
+
+def history_for_spec(
+    spec: Dict[Tuple[int, int], int], num_objects: int, max_cycle: int
+) -> List[SpecCommit]:
+    """The Appendix D commit sequence realising ``spec``.
+
+    Off-diagonal quadrant entries take the specified values (0 = never);
+    diagonal quadrant entries come out as ``max_cycle``.
+    """
+    validate_spec(spec, num_objects, max_cycle)
+    m = quadrant_size(num_objects)
+    commits: List[SpecCommit] = []
+    counter = 0
+    for (i, j), cycle in sorted(spec.items(), key=lambda kv: (kv[1], kv[0])):
+        if cycle == 0:
+            continue  # zero means "no transaction affecting j wrote i"
+        counter += 1
+        tw = twin(j, num_objects)
+        commits.append(
+            SpecCommit(f"e{counter}", cycle, (tw,), (i, tw))
+        )
+    for j in range(m):
+        tw = twin(j, num_objects)
+        commits.append(SpecCommit(f"d{j}", max_cycle, (tw,), (j,)))
+    return commits
+
+
+def realize_spec(
+    spec: Dict[Tuple[int, int], int], num_objects: int, max_cycle: int
+) -> np.ndarray:
+    """Replay the construction through the real control matrix."""
+    matrix = ControlMatrix(num_objects)
+    for commit in history_for_spec(spec, num_objects, max_cycle):
+        matrix.apply_commit(commit.cycle, commit.read_set, commit.write_set)
+    return matrix.snapshot()
+
+
+def worst_case_bits(num_objects: int, max_cycles: int) -> float:
+    """Theorem 8's lower bound: (n² − 4n + 3)/4 · log₂(max_cycles) bits."""
+    if max_cycles < 2:
+        raise ValueError("need at least two distinguishable cycles")
+    n = num_objects
+    return max(0.0, (n * n - 4 * n + 3) / 4) * math.log2(max_cycles)

@@ -1,0 +1,104 @@
+"""Update-consistency legality (Theorem 3) and its relatives.
+
+Theorem 3 characterizes the histories a scheduler can determine to satisfy
+the update-consistency requirements 1–3:
+
+1. ``H_update`` is view serializable, and
+2. for every read-only transaction ``t_R``, the polygraph ``P_H(t_R)`` is
+   acyclic.
+
+Both sub-problems are NP-complete (Theorems 4–5), so :func:`is_legal` is
+exact but intended for small histories only — exactly the regime in which
+the theory layer, the tests, and the examples operate.  The simulation
+protocols never call this; they implement APPROX via the matrix protocols.
+
+The module also checks the *prefix commit-closed* requirement (requirement
+4 of Appendix A.1) on demand, and relates the criteria:
+
+    conflict-serializable(H)  ⊆  APPROX-accepted  ⊆  legal
+                              ⊆  update-consistent histories
+
+(the partial order of Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .approx import approx_accepts
+from .model import History
+from .polygraph import reader_polygraph
+from .serialgraph import is_conflict_serializable
+from .viewser import is_view_serializable
+
+__all__ = [
+    "LegalityReport",
+    "is_legal",
+    "legality_report",
+    "is_prefix_closed_legal",
+    "criteria_summary",
+]
+
+
+@dataclass(frozen=True)
+class LegalityReport:
+    """Outcome of the Theorem 3 legality decision."""
+
+    legal: bool
+    update_view_serializable: bool
+    reader_verdicts: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def rejected_readers(self) -> Tuple[str, ...]:
+        return tuple(t for t, ok in sorted(self.reader_verdicts.items()) if not ok)
+
+
+def legality_report(history: History) -> LegalityReport:
+    """Decide legality (Theorem 3) with per-condition diagnostics."""
+    committed = history.committed_projection()
+    update = committed.update_subhistory()
+    vs = is_view_serializable(update)
+    if not vs:
+        return LegalityReport(False, False)
+    verdicts: Dict[str, bool] = {}
+    for tid in committed.read_only_transactions():
+        verdicts[tid] = reader_polygraph(committed, tid).is_acyclic()
+    return LegalityReport(all(verdicts.values()), True, verdicts)
+
+
+def is_legal(history: History) -> bool:
+    """True iff a scheduler can determine ``history`` update consistent."""
+    return legality_report(history).legal
+
+
+def _committed_prefixes(history: History) -> List[History]:
+    """Every prefix of the history, as raw (non-strict) histories."""
+    ops = history.operations
+    return [History(ops[:i], strict=False) for i in range(len(ops) + 1)]
+
+
+def is_prefix_closed_legal(history: History) -> bool:
+    """Legality of every prefix (requirement 4 of Appendix A.1).
+
+    A prefix may cut a transaction mid-flight; per the appendix, only the
+    committed projection of each prefix is judged.
+    """
+    return all(is_legal(prefix) for prefix in _committed_prefixes(history))
+
+
+def criteria_summary(history: History) -> Dict[str, bool]:
+    """Evaluate the Figure 1 criteria lattice on one history.
+
+    Returns a dict with keys ``conflict_serializable``,
+    ``view_serializable``, ``approx`` and ``legal``; the expected
+    implications (csr → vsr → legal, csr → approx → legal) are asserted by
+    the property-based tests.
+    """
+    committed = history.committed_projection()
+    return {
+        "conflict_serializable": is_conflict_serializable(committed),
+        "view_serializable": is_view_serializable(committed),
+        "approx": approx_accepts(history),
+        "legal": is_legal(history),
+    }

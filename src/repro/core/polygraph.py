@@ -1,0 +1,226 @@
+"""Polygraphs and the per-reader polygraph ``P_H(t)`` (Definitions 4–6).
+
+A polygraph ``(N, A, B)`` is a digraph ``(N, A)`` plus a set ``B`` of
+*bipaths*: pairs of optional arcs ``((v,u),(u,w))`` associated with an arc
+``(w,v) ∈ A``; a compatible digraph must contain at least one arc of every
+bipath.  The polygraph is *acyclic* iff some compatible digraph is acyclic
+(Definition 5) — deciding this is NP-complete in general, so
+:meth:`Polygraph.is_acyclic` uses backtracking over bipath choices with
+unit propagation; it is exact and fast for the history sizes the theory
+module works with.
+
+``P_H(t)`` (Definition 6) has nodes ``LIVE_H(t)``, arcs for reads-from
+pairs, and a bipath ``((t',t''),(t''',t'))`` whenever ``t'`` writes an
+object that ``t'''`` reads from ``t''`` — the "either before the writer or
+after the reader" choice of version-order placement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .model import History, T0
+from .readsfrom import live_set
+from .serialgraph import Digraph
+
+__all__ = ["Bipath", "Polygraph", "reader_polygraph"]
+
+Arc = Tuple[str, str]
+
+
+class Bipath:
+    """A bipath ``(a1, a2)``: a compatible digraph includes a1 or a2."""
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first: Arc, second: Arc):
+        self.first = first
+        self.second = second
+
+    def __iter__(self):
+        return iter((self.first, self.second))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Bipath)
+            and {self.first, self.second} == {other.first, other.second}
+        )
+
+    def __hash__(self) -> int:
+        return hash(frozenset((self.first, self.second)))
+
+    def __repr__(self) -> str:
+        return f"Bipath({self.first} | {self.second})"
+
+
+class Polygraph:
+    """``(N, A, B)`` with an exact acyclicity decision procedure."""
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        arcs: Iterable[Arc] = (),
+        bipaths: Iterable[Bipath] = (),
+    ):
+        self.nodes: Set[str] = set(nodes)
+        self.arcs: Set[Arc] = set()
+        self.bipaths: List[Bipath] = []
+        for arc in arcs:
+            self.add_arc(*arc)
+        for bipath in bipaths:
+            self.add_bipath(bipath)
+
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        self.nodes.add(node)
+
+    def add_arc(self, src: str, dst: str) -> None:
+        if src == dst:
+            return
+        self.nodes.update((src, dst))
+        self.arcs.add((src, dst))
+
+    def add_bipath(self, bipath: Bipath) -> None:
+        for src, dst in bipath:
+            self.nodes.update((src, dst))
+        if bipath not in self.bipaths:
+            self.bipaths.append(bipath)
+
+    def __repr__(self) -> str:
+        return (
+            f"Polygraph(|N|={len(self.nodes)}, |A|={len(self.arcs)}, "
+            f"|B|={len(self.bipaths)})"
+        )
+
+    # ------------------------------------------------------------------
+    def compatible_digraphs(self) -> Iterable[Digraph]:
+        """Enumerate the (up to 2^|B|) digraphs of the family D(N, A, B).
+
+        Intended for tests on small polygraphs; :meth:`is_acyclic` does not
+        enumerate exhaustively.
+        """
+        for choices in itertools.product(*(tuple(b) for b in self.bipaths)):
+            g = Digraph(sorted(self.nodes))
+            for arc in self.arcs:
+                g.add_edge(*arc)
+            for arc in choices:
+                g.add_edge(*arc)
+            yield g
+
+    # ------------------------------------------------------------------
+    def is_acyclic(self) -> bool:
+        """True iff some compatible digraph is acyclic (Definition 5)."""
+        return self.acyclic_witness() is not None
+
+    def acyclic_witness(self) -> Optional[Digraph]:
+        """An acyclic compatible digraph, or ``None`` when none exists.
+
+        Backtracking over bipath arc choices.  Before branching, bipaths
+        that are already satisfied by the current arc set are discarded and
+        *forced* choices (one side would close a cycle immediately) are
+        propagated.
+        """
+        base = Digraph(sorted(self.nodes))
+        for arc in self.arcs:
+            base.add_edge(*arc)
+        if not base.is_acyclic():
+            return None
+        return self._search(base, list(self.bipaths))
+
+    # -- helpers --------------------------------------------------------
+    @staticmethod
+    def _creates_cycle(graph: Digraph, arc: Arc) -> bool:
+        """Would adding ``arc`` close a cycle?  (Is dst→…→src reachable?)"""
+        src, dst = arc
+        if src == dst:
+            return True
+        stack = [dst]
+        seen = {dst}
+        while stack:
+            node = stack.pop()
+            if node == src:
+                return True
+            for nxt in graph.successors(node):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def _search(self, graph: Digraph, pending: List[Bipath]) -> Optional[Digraph]:
+        # Unit propagation: drop satisfied bipaths, force single-choice ones.
+        while True:
+            remaining: List[Bipath] = []
+            forced: List[Arc] = []
+            for bipath in pending:
+                a1, a2 = bipath.first, bipath.second
+                if graph.has_edge(*a1) or graph.has_edge(*a2):
+                    continue
+                ok1 = not self._creates_cycle(graph, a1)
+                ok2 = not self._creates_cycle(graph, a2)
+                if not ok1 and not ok2:
+                    return None
+                if ok1 and ok2:
+                    remaining.append(bipath)
+                else:
+                    forced.append(a1 if ok1 else a2)
+            if not forced:
+                pending = remaining
+                break
+            for arc in forced:
+                if self._creates_cycle(graph, arc):
+                    return None
+                graph.add_edge(*arc)
+            pending = remaining
+
+        if not pending:
+            return graph
+
+        bipath, rest = pending[0], pending[1:]
+        for arc in bipath:
+            if self._creates_cycle(graph, arc):
+                continue
+            branch = graph.copy()
+            branch.add_edge(*arc)
+            solution = self._search(branch, list(rest))
+            if solution is not None:
+                return solution
+        return None
+
+
+def reader_polygraph(history: History, tid: str) -> Polygraph:
+    """``P_H(t)`` (Definition 6) for transaction ``tid`` in ``history``.
+
+    Nodes are ``LIVE_H(t)``; there is an arc ``t' -> t''`` whenever ``t''``
+    reads some object from ``t'``; and a bipath ``((t',t''),(t''',t'))``
+    whenever ``t'`` (in the live set, distinct from reader and writer)
+    writes an object that ``t'''`` reads from ``t''``.
+    """
+    live = set(live_set(history, tid))
+    poly = Polygraph(sorted(live))
+
+    rf = history.reads_from
+    # arcs: writer -> reader for each reads-from pair within the live set
+    for (reader, obj), writer in rf.items():
+        if reader in live and writer in live and writer != T0:
+            poly.add_arc(writer, reader)
+
+    # writers per object within the live set
+    writers: Dict[str, Set[str]] = {}
+    for op in history:
+        if op.is_write and op.txn in live:
+            writers.setdefault(op.obj or "", set()).add(op.txn)
+
+    for (reader, obj), writer in rf.items():
+        if reader not in live:
+            continue
+        for other in writers.get(obj, ()):  # t' writes obj
+            if other in (reader, writer):
+                continue
+            if writer == T0:
+                # reads the initial value: the other writer must come after
+                # the reader — a forced arc, not a bipath.
+                poly.add_arc(reader, other)
+            else:
+                poly.add_bipath(Bipath((other, writer), (reader, other)))
+    return poly

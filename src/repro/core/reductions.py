@@ -1,0 +1,460 @@
+"""NP-completeness machinery of Appendix B.
+
+The paper proves that deciding legality is NP-complete even when the
+update sub-history is serial (Theorem 5), by the chain
+
+    3SAT  →  "satisfiable with x = false"  →  non-circular formula
+          →  polygraph P_φ  →  polygraph P'_φ (add reader t_R)
+          →  history H with H_update serial and P_H(t_R) = P'_φ.
+
+This module implements every step so the reduction is executable:
+
+* :class:`CNF` — small CNF representation with a DPLL satisfiability
+  check (instances produced by the reduction are tiny);
+* :func:`add_universal_literal` / :func:`to_three_sat` /
+  :func:`make_non_circular` — the formula transformations (ψ → ψ' → ψ'''
+  → φ), preserving "ψ satisfiable ⇔ φ satisfiable with x false";
+* :func:`polygraph_from_noncircular` — the variable/clause gadget
+  construction used by Lemma 8 (choice arcs encode truth values; a clause
+  whose literals are all false closes a cycle);
+* :func:`reduction_polygraph` — P'_φ of Theorem 5 (reader node, arcs from
+  every node to the reader, and the x-forcing bipath);
+* :func:`history_from_reduction` — the serial-update history whose reader
+  polygraph is exactly P'_φ, so ``is_legal(H)`` decides satisfiability of
+  the original ψ.
+
+The integration tests drive the full pipeline both ways (satisfiable and
+unsatisfiable ψ) and check ``reader_polygraph(H, t_R) == P'_φ`` node for
+node, arc for arc, bipath for bipath.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .model import History, Operation, commit, read, write
+from .polygraph import Bipath, Polygraph
+
+__all__ = [
+    "Literal",
+    "CNF",
+    "add_universal_literal",
+    "to_three_sat",
+    "make_non_circular",
+    "polygraph_from_noncircular",
+    "assignment_digraph_arcs",
+    "reduction_polygraph",
+    "history_from_reduction",
+    "ReductionArtifacts",
+    "reduce_sat_to_history",
+]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A variable or its negation."""
+
+    var: str
+    positive: bool = True
+
+    def negate(self) -> "Literal":
+        return Literal(self.var, not self.positive)
+
+    def value_under(self, assignment: Dict[str, bool]) -> bool:
+        return assignment[self.var] == self.positive
+
+    def __str__(self) -> str:
+        return self.var if self.positive else f"¬{self.var}"
+
+
+Clause = Tuple[Literal, ...]
+
+
+class CNF:
+    """A boolean formula in conjunctive normal form."""
+
+    def __init__(self, clauses: Iterable[Sequence[Literal]]):
+        self.clauses: Tuple[Clause, ...] = tuple(tuple(c) for c in clauses)
+        for clause in self.clauses:
+            if not clause:
+                raise ValueError("empty clause makes the formula trivially false")
+
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for clause in self.clauses:
+            for lit in clause:
+                if lit.var not in seen:
+                    seen.append(lit.var)
+        return tuple(seen)
+
+    def is_mixed(self, clause: Clause) -> bool:
+        """Does the clause contain both positive and negated literals?"""
+        return any(l.positive for l in clause) and any(not l.positive for l in clause)
+
+    def is_non_circular(self) -> bool:
+        """At most one occurrence of each variable lies in a mixed clause."""
+        mixed_occurrences: Dict[str, int] = {}
+        for clause in self.clauses:
+            if self.is_mixed(clause):
+                for lit in clause:
+                    mixed_occurrences[lit.var] = mixed_occurrences.get(lit.var, 0) + 1
+        return all(count <= 1 for count in mixed_occurrences.values())
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return all(
+            any(lit.value_under(assignment) for lit in clause)
+            for clause in self.clauses
+        )
+
+    # ------------------------------------------------------------------
+    def satisfying_assignment(
+        self, forced: Optional[Dict[str, bool]] = None
+    ) -> Optional[Dict[str, bool]]:
+        """DPLL search for a satisfying assignment extending ``forced``."""
+        assignment: Dict[str, bool] = dict(forced or {})
+        clauses = [list(c) for c in self.clauses]
+        result = self._dpll(clauses, assignment)
+        if result is None:
+            return None
+        # give unconstrained variables a definite value
+        for var in self.variables:
+            result.setdefault(var, False)
+        return result
+
+    def is_satisfiable(self, forced: Optional[Dict[str, bool]] = None) -> bool:
+        return self.satisfying_assignment(forced) is not None
+
+    def _dpll(
+        self, clauses: List[List[Literal]], assignment: Dict[str, bool]
+    ) -> Optional[Dict[str, bool]]:
+        # simplify under current assignment
+        simplified: List[List[Literal]] = []
+        for clause in clauses:
+            kept: List[Literal] = []
+            satisfied = False
+            for lit in clause:
+                if lit.var in assignment:
+                    if lit.value_under(assignment):
+                        satisfied = True
+                        break
+                else:
+                    kept.append(lit)
+            if satisfied:
+                continue
+            if not kept:
+                return None  # clause falsified
+            simplified.append(kept)
+        if not simplified:
+            return dict(assignment)
+        # unit propagation
+        for clause in simplified:
+            if len(clause) == 1:
+                lit = clause[0]
+                new_assignment = dict(assignment)
+                new_assignment[lit.var] = lit.positive
+                return self._dpll(simplified, new_assignment)
+        # branch on the first unassigned variable
+        var = simplified[0][0].var
+        for value in (True, False):
+            new_assignment = dict(assignment)
+            new_assignment[var] = value
+            result = self._dpll(simplified, new_assignment)
+            if result is not None:
+                return result
+        return None
+
+    def __repr__(self) -> str:
+        body = " ∧ ".join(
+            "(" + " ∨ ".join(str(l) for l in clause) + ")" for clause in self.clauses
+        )
+        return f"CNF[{body}]"
+
+
+# ----------------------------------------------------------------------
+# formula transformations (Theorem 5 proof, step by step)
+# ----------------------------------------------------------------------
+
+def add_universal_literal(cnf: CNF, var: str = "x*") -> CNF:
+    """ψ → ψ': add a fresh positive literal ``var`` to every clause.
+
+    ψ' is satisfiable (set ``var`` true) and ψ is satisfiable iff ψ' is
+    satisfiable with ``var`` false.
+    """
+    if var in cnf.variables:
+        raise ValueError(f"{var!r} already occurs in the formula")
+    lit = Literal(var)
+    return CNF([tuple(clause) + (lit,) for clause in cnf.clauses])
+
+
+def to_three_sat(cnf: CNF, prefix: str = "s") -> CNF:
+    """Rewrite so every clause has at most three literals.
+
+    A clause ``(a ∨ b ∨ c ∨ d ∨ ...)`` becomes
+    ``(a ∨ b ∨ z) ∧ (¬z ∨ c ∨ d ∨ ...)`` recursively, with fresh ``z``s.
+    Preserves satisfiability (with or without forced values on original
+    variables).
+    """
+    fresh = itertools.count()
+    out: List[Clause] = []
+
+    def split(clause: Clause) -> None:
+        if len(clause) <= 3:
+            out.append(clause)
+            return
+        z = Literal(f"{prefix}{next(fresh)}")
+        out.append((clause[0], clause[1], z))
+        split((z.negate(),) + clause[2:])
+
+    for clause in cnf.clauses:
+        split(clause)
+    return CNF(out)
+
+
+def make_non_circular(cnf: CNF, prefix: str = "d") -> CNF:
+    """ψ''' → φ: make the formula non-circular.
+
+    For each variable ``z`` with occurrences beyond the first, occurrence
+    ``k`` is replaced by a fresh variable ``d`` constrained to ``d ≡ ¬z``
+    via the two *non-mixed* clauses ``(z ∨ d)`` and ``(¬z ∨ ¬d)``; the
+    replaced literal's polarity flips accordingly.  Each variable then
+    occurs at most once in a mixed clause, and satisfiability (with forced
+    values on original variables) is preserved.
+    """
+    fresh = itertools.count()
+    counts: Dict[str, int] = {}
+    new_clauses: List[List[Literal]] = []
+    equivalences: List[Clause] = []
+    for clause in cnf.clauses:
+        rewritten: List[Literal] = []
+        for lit in clause:
+            counts[lit.var] = counts.get(lit.var, 0) + 1
+            if counts[lit.var] == 1:
+                rewritten.append(lit)
+            else:
+                copy = Literal(f"{prefix}{next(fresh)}")
+                # copy ≡ ¬original  ⇒  original literal ℓ becomes ¬-flipped copy
+                equivalences.append((Literal(lit.var), Literal(copy.var)))
+                equivalences.append(
+                    (Literal(lit.var, False), Literal(copy.var, False))
+                )
+                rewritten.append(Literal(copy.var, not lit.positive))
+        new_clauses.append(rewritten)
+    return CNF([tuple(c) for c in new_clauses] + equivalences)
+
+
+# ----------------------------------------------------------------------
+# polygraph gadgets (Lemma 8 construction)
+# ----------------------------------------------------------------------
+
+def _var_nodes(var: str) -> Tuple[str, str, str]:
+    return (f"a({var})", f"b({var})", f"c({var})")
+
+
+def polygraph_from_noncircular(cnf: CNF) -> Polygraph:
+    """The polygraph ``P_φ`` associated with a non-circular formula.
+
+    Per variable ``v``: nodes ``a(v), b(v), c(v)``, arc ``a→b`` and the
+    choice bipath {``c→a`` (v true), ``b→c`` (v false)}.
+
+    Per clause ``C_i`` with literals ``λ_i1..λ_ik``: nodes ``y_im, z_im``,
+    arcs ``y_im → z_i(m+1 mod k)``, and per literal the choice bipath
+    {``z_im → y_im`` (literal false), literal-true arc} where the
+    literal-true arc is ``y_im → b(v)`` for a positive literal (with fixed
+    arcs ``b(v) → z_im`` and ``c(v) → y_im``) and ``a(v) → z_im`` for a
+    negative literal (with fixed arcs ``y_im → a(v)`` and ``z_im → c(v)``).
+
+    The compatible digraphs then encode truth assignments: the polygraph
+    admits an acyclic compatible digraph containing ``b(v)→c(v)`` iff the
+    formula is satisfiable with ``v`` false (Lemma 8).
+    """
+    if not cnf.is_non_circular():
+        raise ValueError("construction requires a non-circular formula")
+    poly = Polygraph()
+    for var in cnf.variables:
+        a, b, c = _var_nodes(var)
+        poly.add_arc(a, b)
+        poly.add_bipath(Bipath((c, a), (b, c)))
+    for ci, clause in enumerate(cnf.clauses):
+        k = len(clause)
+        for m, lit in enumerate(clause):
+            y = f"y({ci},{m})"
+            z = f"z({ci},{m})"
+            z_next = f"z({ci},{(m + 1) % k})"
+            poly.add_arc(y, z_next)
+            a, b, c = _var_nodes(lit.var)
+            if lit.positive:
+                poly.add_arc(b, z)
+                poly.add_arc(c, y)
+                poly.add_bipath(Bipath((z, y), (y, b)))
+            else:
+                poly.add_arc(y, a)
+                poly.add_arc(z, c)
+                poly.add_bipath(Bipath((z, y), (a, z)))
+    return poly
+
+
+def assignment_digraph_arcs(
+    cnf: CNF, assignment: Dict[str, bool]
+) -> List[Tuple[str, str]]:
+    """Lemma 9: bipath choices realising a satisfying assignment.
+
+    Returns the optional arcs to add to ``A`` so the resulting digraph is
+    acyclic: the truth arc per variable, the false arc per false literal,
+    and the literal-true arc per true literal.
+    """
+    if not cnf.evaluate(assignment):
+        raise ValueError("assignment does not satisfy the formula")
+    arcs: List[Tuple[str, str]] = []
+    for var in cnf.variables:
+        a, b, c = _var_nodes(var)
+        arcs.append((c, a) if assignment[var] else (b, c))
+    for ci, clause in enumerate(cnf.clauses):
+        for m, lit in enumerate(clause):
+            y = f"y({ci},{m})"
+            z = f"z({ci},{m})"
+            a, b, c = _var_nodes(lit.var)
+            if lit.value_under(assignment):
+                arcs.append((y, b) if lit.positive else ((a, z)))
+            else:
+                arcs.append((z, y))
+    return arcs
+
+
+# ----------------------------------------------------------------------
+# Theorem 5: reader polygraph and history construction
+# ----------------------------------------------------------------------
+
+READER = "tR"
+
+
+def reduction_polygraph(poly: Polygraph, forced_var: str) -> Polygraph:
+    """``P'_φ``: add reader ``tR``, arcs ``y → tR`` for every node, and the
+    forcing bipath {``tR → a(x)``, ``a(x) → c(x)``} whose only viable choice
+    pins ``b(x) → c(x)`` (i.e. ``x`` false) in any acyclic digraph."""
+    a, _b, c = _var_nodes(forced_var)
+    out = Polygraph(poly.nodes, poly.arcs, poly.bipaths)
+    for node in sorted(poly.nodes):
+        out.add_arc(node, READER)
+    out.add_bipath(Bipath((READER, a), (a, c)))
+    return out
+
+
+def _arc_object(src: str, dst: str) -> str:
+    return f"y[{src}->{dst}]"
+
+
+@dataclass(frozen=True)
+class ReductionArtifacts:
+    """Everything produced by :func:`reduce_sat_to_history`."""
+
+    phi: CNF
+    polygraph: Polygraph
+    reader_polygraph_: Polygraph
+    history: History
+    forced_var: str
+
+    @property
+    def reader(self) -> str:
+        return READER
+
+
+def history_from_reduction(
+    poly_prime: Polygraph,
+    topo_order: Sequence[str],
+    forced_var: str,
+) -> History:
+    """Build the Theorem 5 history from ``P'_φ`` and a serial order.
+
+    ``topo_order`` must be a topological order of an acyclic digraph
+    compatible with the *reader-free* polygraph (the update transactions).
+    One object exists per fixed arc of ``P'_φ``; per bipath
+    ``{(r,p),(p,q)}`` (fixed arc ``(q,r)``) the extra writer ``p``
+    additionally writes the object of arc ``(q,r)``.  Update transactions
+    run serially in ``topo_order`` (reads before writes); the reader's
+    read of the ``c(x) → tR`` object is placed immediately after ``c(x)``
+    commits — before ``a(x)`` overwrites it — and its remaining reads go
+    at the end.
+    """
+    a_x, _b_x, c_x = _var_nodes(forced_var)
+
+    reads: Dict[str, List[str]] = {n: [] for n in poly_prime.nodes}
+    writes: Dict[str, List[str]] = {n: [] for n in poly_prime.nodes}
+    for src, dst in sorted(poly_prime.arcs):
+        obj = _arc_object(src, dst)
+        writes[src].append(obj)
+        reads[dst].append(obj)
+    # extra writers from bipaths: p writes the object of the fixed arc (q,r)
+    for bipath in poly_prime.bipaths:
+        (v1, u1), (v2, u2) = bipath.first, bipath.second
+        # identify the shared middle node p: appears in both arcs
+        shared = {v1, u1} & {v2, u2}
+        if len(shared) != 1:
+            raise ValueError(f"malformed bipath {bipath}")
+        p = shared.pop()
+        # orient as (r,p),(p,q)
+        if u1 == p and v2 == p:
+            r, q = v1, u2
+        elif u2 == p and v1 == p:
+            r, q = v2, u1
+        else:
+            raise ValueError(f"malformed bipath {bipath}")
+        obj = _arc_object(q, r)
+        if obj not in writes[p]:
+            writes[p].append(obj)
+
+    ops: List[Operation] = []
+    special_obj = _arc_object(c_x, READER)
+    for position, tid in enumerate(topo_order):
+        if tid == READER:
+            raise ValueError("topo_order must contain update transactions only")
+        for obj in reads[tid]:
+            ops.append(read(tid, obj))
+        for obj in writes[tid]:
+            ops.append(write(tid, obj))
+        ops.append(commit(tid, cycle=position + 1))
+        if tid == c_x:
+            ops.append(read(READER, special_obj))
+    for obj in sorted(reads[READER]):
+        if obj != special_obj:
+            ops.append(read(READER, obj))
+    ops.append(commit(READER, cycle=len(topo_order) + 1))
+    return History(ops)
+
+
+def reduce_sat_to_history(cnf: CNF) -> ReductionArtifacts:
+    """Run the entire Theorem 5 reduction on a CNF formula ψ.
+
+    The returned history has a serial update sub-history and satisfies
+    ``is_legal(history) ⇔ ψ is satisfiable``.
+    """
+    forced = "x*"
+    psi_prime = add_universal_literal(cnf, forced)
+    psi3 = to_three_sat(psi_prime)
+    phi = make_non_circular(psi3)
+    assert phi.is_non_circular()
+
+    poly = polygraph_from_noncircular(phi)
+    poly_prime = reduction_polygraph(poly, forced)
+
+    # a satisfying assignment of φ with x true always exists
+    assignment = phi.satisfying_assignment(forced={forced: True})
+    if assignment is None:  # pragma: no cover - construction guarantees it
+        raise RuntimeError("φ must be satisfiable with the universal literal true")
+
+    from .serialgraph import Digraph  # local import to avoid cycles
+
+    digraph = Digraph(sorted(poly.nodes))
+    for arc in poly.arcs:
+        digraph.add_edge(*arc)
+    for arc in assignment_digraph_arcs(phi, assignment):
+        digraph.add_edge(*arc)
+    order = digraph.topological_order()
+    if order is None:  # pragma: no cover - Lemma 9 guarantees acyclicity
+        raise RuntimeError("assignment digraph unexpectedly cyclic")
+
+    history = history_from_reduction(poly_prime, order, forced)
+    return ReductionArtifacts(phi, poly, poly_prime, history, forced)

@@ -1,0 +1,86 @@
+"""Pure-Python reference implementations (differential-testing oracles).
+
+The production control-state code (:mod:`repro.core.control_matrix`,
+:mod:`repro.core.group_matrix`) is numpy-vectorised — the paper's future
+work frets about "efficient computation of the control matrix", and
+vectorisation is our answer.  To keep the fast path honest, this module
+re-implements the Theorem 2 rules in the most literal way possible
+(nested loops over plain lists, transcribing the paper's three cases
+verbatim) so property tests can diff the two and the benchmark suite can
+quantify the speed-up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["ReferenceControlMatrix", "ReferenceLastWriteVector"]
+
+
+class ReferenceControlMatrix:
+    """Literal transcription of the Theorem 2 incremental algorithm.
+
+    * ``C_new(i, j) = c2``                       if ob_i, ob_j ∈ WS
+    * ``C_new(i, j) = max_{ob_k ∈ RS} C_old(i, k)``  if ob_i ∉ WS, ob_j ∈ WS
+      (0 when RS is empty)
+    * ``C_new(i, j) = C_old(i, j)``              otherwise
+    """
+
+    def __init__(self, num_objects: int):
+        if num_objects <= 0:
+            raise ValueError("num_objects must be positive")
+        self._n = num_objects
+        self._c: List[List[int]] = [
+            [0] * num_objects for _ in range(num_objects)
+        ]
+
+    @property
+    def num_objects(self) -> int:
+        return self._n
+
+    def entry(self, i: int, j: int) -> int:
+        return self._c[i][j]
+
+    def rows(self) -> List[List[int]]:
+        return [list(row) for row in self._c]
+
+    def apply_commit(
+        self,
+        commit_cycle: int,
+        read_set: Iterable[int],
+        write_set: Iterable[int],
+    ) -> None:
+        ws = set(write_set)
+        if not ws:
+            return
+        rs = sorted(set(read_set))
+        old = [list(row) for row in self._c]
+        for i in range(self._n):
+            for j in range(self._n):
+                if j not in ws:
+                    continue  # case 3: column untouched
+                if i in ws:
+                    self._c[i][j] = commit_cycle          # case 1
+                elif rs:
+                    self._c[i][j] = max(old[i][k] for k in rs)  # case 2
+                else:
+                    self._c[i][j] = 0                     # case 2, RS empty
+
+
+class ReferenceLastWriteVector:
+    """Literal last-committed-write-cycle bookkeeping."""
+
+    def __init__(self, num_objects: int):
+        self._mc = [0] * num_objects
+
+    def entry(self, i: int) -> int:
+        return self._mc[i]
+
+    def values(self) -> List[int]:
+        return list(self._mc)
+
+    def apply_commit(
+        self, commit_cycle: int, read_set: Iterable[int], write_set: Iterable[int]
+    ) -> None:
+        for obj in set(write_set):
+            self._mc[obj] = commit_cycle

@@ -1,0 +1,333 @@
+"""Client-side read-validation protocols (Sections 3.2.1–3.2.2, 3.3).
+
+Each validator embodies one protocol's *read condition*.  A read-only
+transaction is executed by calling :meth:`begin`, then
+:meth:`validate_read` before each read: ``True`` means the read may
+proceed (and it is recorded in ``R_t``); ``False`` means the protocol
+aborts the transaction (the caller restarts it).  Commit is always
+allowed for read-only transactions — per Theorem 1, per-read validation
+already guarantees ``S(t_R)`` is acyclic on commit.
+
+Implemented protocols:
+
+* :class:`FMatrixValidator`   — full ``n × n`` matrix (implements APPROX);
+* :class:`RMatrixValidator`   — vector with the weakened disjunctive
+  condition (accepts only APPROX schedules, Theorem 9);
+* :class:`DatacycleValidator` — vector with the strict condition
+  (serializability; Herman et al.'s Datacycle);
+* :class:`GroupMatrixValidator` — the tunable ``n × g`` middle ground.
+
+Validators see per-cycle *control snapshots* — the control information as
+frozen at the beginning of the broadcast cycle the read observes — via
+:class:`ControlSnapshot`, and they *retain* each read's control slice
+(the object's matrix column, or the vector): exactly what Sec. 3.3 says a
+caching client must store.
+
+**Cached (out-of-order) reads.**  Off the air, read cycles are
+non-decreasing and the paper's one-directional condition::
+
+    ∀ (ob_i, c_i) ∈ R_t :  C(i, j) < c_i
+
+is exact (Theorem 1).  A quasi-cached read, however, observes a version
+from an *earlier* cycle ``c_j`` than previous reads, and the one-way check
+cannot see transactions that affected an earlier read ``ob_i`` *and*
+overwrote ``ob_j`` after ``c_j`` — those commits postdate the cached
+column.  Validators therefore also apply the symmetric *backward*
+condition against each earlier read's retained slice::
+
+    ∀ (ob_i, c_i) ∈ R_t with c_i > c_j :  C_{c_i}(j, i) < c_j
+
+i.e. nothing affecting the value of ``ob_i`` as read wrote ``ob_j`` at or
+after the cached version's cycle.  For in-order reads the backward
+condition is vacuous (every entry of a cycle-``c_i`` column is < ``c_i``
+≤ ``c_j``), so plain broadcast behaviour is unchanged.
+
+Timestamp comparison is delegated to a
+:class:`repro.core.cycles.CycleArithmetic`, so the same logic runs with
+absolute cycle numbers or the paper's 8-bit modulo timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cycles import CycleArithmetic, UnboundedCycles
+from .group_matrix import Partition
+
+__all__ = [
+    "ControlSnapshot",
+    "ReadRecord",
+    "ReadValidator",
+    "FMatrixValidator",
+    "DatacycleValidator",
+    "RMatrixValidator",
+    "GroupMatrixValidator",
+    "PROTOCOL_NAMES",
+    "make_validator",
+]
+
+
+@dataclass(frozen=True)
+class ControlSnapshot:
+    """Control information frozen at the beginning of one broadcast cycle.
+
+    Exactly one of ``matrix`` / ``vector`` / ``grouped`` is populated,
+    matching the protocol in force.  Entries are *encoded* timestamps (see
+    :mod:`repro.core.cycles`); ``cycle`` is the absolute cycle number the
+    snapshot belongs to, used as the wrap-around anchor.
+    """
+
+    cycle: int
+    matrix: Optional[np.ndarray] = None
+    vector: Optional[np.ndarray] = None
+    grouped: Optional[np.ndarray] = None
+    partition: Optional[Partition] = None
+
+    def fmatrix_entry(self, i: int, j: int) -> int:
+        assert self.matrix is not None, "snapshot carries no full matrix"
+        return int(self.matrix[i, j])
+
+    def vector_entry(self, i: int) -> int:
+        assert self.vector is not None, "snapshot carries no vector"
+        return int(self.vector[i])
+
+    def grouped_entry(self, i: int, group: int) -> int:
+        assert self.grouped is not None, "snapshot carries no grouped matrix"
+        return int(self.grouped[i, group])
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One validated read in ``R_t``: object, cycle, retained control slice.
+
+    ``slice_`` is the protocol-specific control information that rode with
+    the read — the object's matrix column (F-Matrix), the vector
+    (Datacycle/R-Matrix), or the object's group column (group-matrix) —
+    and is what a caching client keeps alongside the object (Sec. 3.3).
+    """
+
+    obj: int
+    cycle: int
+    slice_: np.ndarray
+
+    def __iter__(self):
+        # unpacking compatibility: (obj, cycle) = record
+        return iter((self.obj, self.cycle))
+
+
+class ReadValidator:
+    """Base class: tracks ``R_t`` and defers the condition to subclasses."""
+
+    #: short protocol identifier used in configs/reports
+    name: str = "abstract"
+
+    def __init__(self, arithmetic: Optional[CycleArithmetic] = None):
+        self.arithmetic = arithmetic or UnboundedCycles()
+        self.records: List[ReadRecord] = []
+
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Start (or restart) a transaction: clear ``R_t``."""
+        self.records = []
+
+    @property
+    def reads(self) -> List[Tuple[int, int]]:
+        """``R_t`` as (object, cycle) pairs."""
+        return [(r.obj, r.cycle) for r in self.records]
+
+    @property
+    def first_read_cycle(self) -> Optional[int]:
+        return self.records[0].cycle if self.records else None
+
+    def validate_read(self, obj: int, snapshot: ControlSnapshot) -> bool:
+        """Apply the protocol's read condition for reading ``obj`` now.
+
+        On success the read is recorded into ``R_t`` with the snapshot's
+        cycle (the client reads the latest committed value as of the
+        beginning of that cycle) and its control slice.
+        """
+        if self._condition_holds(obj, snapshot):
+            self.records.append(
+                ReadRecord(obj, snapshot.cycle, self._slice(obj, snapshot))
+            )
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _condition_holds(self, obj: int, snapshot: ControlSnapshot) -> bool:
+        raise NotImplementedError
+
+    def _slice(self, obj: int, snapshot: ControlSnapshot) -> np.ndarray:
+        raise NotImplementedError
+
+    def _less(self, entry: int, cycle: int, *, now: int) -> bool:
+        """entry < cycle under the configured timestamp arithmetic."""
+        return self.arithmetic.less(
+            entry, self.arithmetic.encode(cycle), reference=now
+        )
+
+
+class FMatrixValidator(ReadValidator):
+    """F-Matrix read condition (Sec. 3.2.1)::
+
+        ∀ (ob_i, cycle) ∈ R_t :  C(i, j) < cycle
+
+    using the matrix at the beginning of the read's cycle — the column
+    ``j`` broadcast alongside object ``j`` contains every entry consulted.
+    Equivalent to keeping ``S(t_R)`` acyclic (Theorem 1).  For cached
+    reads the symmetric backward condition on retained columns applies
+    (module docstring).
+    """
+
+    name = "f-matrix"
+
+    def _slice(self, obj: int, snapshot: ControlSnapshot) -> np.ndarray:
+        assert snapshot.matrix is not None
+        return snapshot.matrix[:, obj]
+
+    def _condition_holds(self, obj: int, snapshot: ControlSnapshot) -> bool:
+        now = snapshot.cycle
+        for record in self.records:
+            if not self._less(snapshot.fmatrix_entry(record.obj, obj), record.cycle, now=now):
+                return False
+            if record.cycle > now:  # cached (out-of-order) read: backward
+                if not self._less(int(record.slice_[obj]), now, now=record.cycle):
+                    return False
+        return True
+
+
+class DatacycleValidator(ReadValidator):
+    """Datacycle read condition (Sec. 3.2.2)::
+
+        ∀ (ob_i, cycle) ∈ R_t :  MC(i) < cycle
+
+    i.e. abort as soon as *any* previously read value has been overwritten
+    by a committed transaction — this enforces serializability.
+    """
+
+    name = "datacycle"
+
+    def _slice(self, obj: int, snapshot: ControlSnapshot) -> np.ndarray:
+        assert snapshot.vector is not None
+        return snapshot.vector
+
+    def _condition_holds(self, obj: int, snapshot: ControlSnapshot) -> bool:
+        now = snapshot.cycle
+        for record in self.records:
+            if not self._less(snapshot.vector_entry(record.obj), record.cycle, now=now):
+                return False
+            if record.cycle > now:  # cached read: backward condition
+                if not self._less(int(record.slice_[obj]), now, now=record.cycle):
+                    return False
+        return True
+
+
+class RMatrixValidator(ReadValidator):
+    """R-Matrix read condition (Sec. 3.2.2)::
+
+        (∀ (ob_i, cycle) ∈ R_t : MC(i) < cycle)  ∨  (MC(j) < c₁)
+
+    where ``c₁`` is the cycle of the transaction's first read.  Either no
+    previously read value has been overwritten (the transaction sees the
+    database as of its last read), or the value now being read has not
+    been overwritten since the transaction began (it sees the database as
+    of its first read).  Accepts only APPROX schedules (Theorem 9) and,
+    unlike Datacycle, never aborts a transaction that performs no further
+    reads.
+
+    The first-read-state disjunct presumes in-order reads; a cached
+    (out-of-order) read falls back to the strict conjunctive condition
+    with the backward check — conservative, still sound.
+    """
+
+    name = "r-matrix"
+
+    def _slice(self, obj: int, snapshot: ControlSnapshot) -> np.ndarray:
+        assert snapshot.vector is not None
+        return snapshot.vector
+
+    def _condition_holds(self, obj: int, snapshot: ControlSnapshot) -> bool:
+        now = snapshot.cycle
+        strict_ok = True
+        in_order = True
+        for record in self.records:
+            if not self._less(snapshot.vector_entry(record.obj), record.cycle, now=now):
+                strict_ok = False
+            if record.cycle > now:
+                in_order = False
+                if not self._less(int(record.slice_[obj]), now, now=record.cycle):
+                    return False
+        if strict_ok:
+            return True
+        if not in_order:
+            return False
+        c1 = self.first_read_cycle
+        assert c1 is not None  # strict_ok vacuously true when R_t empty
+        return self._less(snapshot.vector_entry(obj), c1, now=now)
+
+
+class GroupMatrixValidator(ReadValidator):
+    """Grouped read condition (Sec. 3.2.2)::
+
+        ∀ (ob_i, cycle) ∈ R_t :  MC(i, s) < cycle   where ob_j ∈ s
+
+    With singleton groups this *is* F-Matrix; with one group it is the
+    Datacycle condition evaluated on the vector.  Group sizes trade
+    broadcast overhead against false conflicts.
+    """
+
+    name = "group-matrix"
+
+    def __init__(
+        self,
+        partition: Partition,
+        arithmetic: Optional[CycleArithmetic] = None,
+    ):
+        super().__init__(arithmetic)
+        self.partition = partition
+
+    def _slice(self, obj: int, snapshot: ControlSnapshot) -> np.ndarray:
+        assert snapshot.grouped is not None
+        return snapshot.grouped[:, self.partition.group_of(obj)]
+
+    def _condition_holds(self, obj: int, snapshot: ControlSnapshot) -> bool:
+        now = snapshot.cycle
+        group = self.partition.group_of(obj)
+        for record in self.records:
+            if not self._less(
+                snapshot.grouped_entry(record.obj, group), record.cycle, now=now
+            ):
+                return False
+            if record.cycle > now:  # cached read: backward condition
+                if not self._less(int(record.slice_[obj]), now, now=record.cycle):
+                    return False
+        return True
+
+
+#: protocols selectable by name in configs; ``f-matrix-no`` shares the
+#: F-Matrix validator and differs only in broadcast sizing (zero-cost
+#: control information), which is a simulation-level concern.
+PROTOCOL_NAMES = ("f-matrix", "r-matrix", "datacycle", "f-matrix-no", "group-matrix")
+
+
+def make_validator(
+    protocol: str,
+    *,
+    arithmetic: Optional[CycleArithmetic] = None,
+    partition: Optional[Partition] = None,
+) -> ReadValidator:
+    """Instantiate the validator for a protocol name."""
+    if protocol in ("f-matrix", "f-matrix-no"):
+        return FMatrixValidator(arithmetic)
+    if protocol == "r-matrix":
+        return RMatrixValidator(arithmetic)
+    if protocol == "datacycle":
+        return DatacycleValidator(arithmetic)
+    if protocol == "group-matrix":
+        if partition is None:
+            raise ValueError("group-matrix requires a partition")
+        return GroupMatrixValidator(partition, arithmetic)
+    raise ValueError(f"unknown protocol {protocol!r}; choose from {PROTOCOL_NAMES}")

@@ -1,0 +1,100 @@
+"""Command-line runner for the paper's experiments.
+
+Installed as ``repro-experiments``.  Examples::
+
+    repro-experiments list
+    repro-experiments table1
+    repro-experiments fig2 --transactions 200 --seed 7
+    repro-experiments all --transactions 200 --csv results/
+
+``--transactions`` trades statistical tightness for wall-clock time; the
+paper's setting is 1000 (and takes minutes per figure in pure Python).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from .figures import EXPERIMENTS, table1_overheads
+from .report import format_csv, format_overheads, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Re-run the SIGMOD'99 broadcast-CC evaluation.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["table1", "all", "list"],
+        help="experiment id (see DESIGN.md's per-experiment index)",
+    )
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        default=1000,
+        help="committed client transactions per data point (paper: 1000)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--csv",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write per-experiment CSV files into",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also draw the curves as an ASCII chart (log-scale y)",
+    )
+    return parser
+
+
+def _run_one(name: str, transactions: int, seed: int, csv_dir, chart: bool = False) -> None:
+    runner = EXPERIMENTS[name]
+    start = time.time()
+    result = runner(transactions, seed=seed)
+    elapsed = time.time() - start
+    print(format_table(result))
+    if chart:
+        from .plotting import render_chart
+
+        print(render_chart(result, log_y=True))
+    print(f"[{name}] {elapsed:.1f}s wall clock\n")
+    if csv_dir is not None:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+        path = csv_dir / f"{name}.csv"
+        path.write_text(format_csv(result))
+        print(f"wrote {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        print("  table1")
+        return 0
+
+    if args.experiment == "table1":
+        print(format_overheads(table1_overheads()))
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        print(format_overheads(table1_overheads()))
+    for name in names:
+        _run_one(name, args.transactions, args.seed, args.csv, chart=args.chart)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""``repro-explain``: diagnose a history string from the command line.
+
+Example::
+
+    repro-explain "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+
+prints the Figure 1 lattice narrative (serializability, APPROX, exact
+legality) with serialization-order certificates and cycle culprits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core.explain import explain_history
+from ..core.model import HistoryError, parse_history
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-explain",
+        description="Explain a transaction history against the paper's "
+        "correctness criteria.",
+    )
+    parser.add_argument(
+        "history",
+        help='history in the paper notation, e.g. "r1[x] w2[x] c2 c1"',
+    )
+    parser.add_argument(
+        "--no-exact",
+        action="store_true",
+        help="skip the exact (NP-complete) legality check",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        history = parse_history(args.history)
+    except HistoryError as error:
+        print(f"cannot parse history: {error}", file=sys.stderr)
+        return 2
+    print(explain_history(history, exact=not args.no_exact), end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Terminal (ASCII) rendering of experiment curves.
+
+The paper presents Figures 2–4 as line charts; this renderer draws the
+same curves in a terminal so the harness can be used without any
+plotting dependency::
+
+    == fig2: response time ==
+    6.0e+07 |                                 D
+            |
+            |                          D
+    ...     |            D      R      F
+            +--------------------------------
+             2      4      6      8      10
+
+One character column per x position band; protocols are plotted with
+their initial letter (collisions show ``*``).  A logarithmic y-axis is
+available for the heavily skewed Datacycle curves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .sweeps import ExperimentResult, Series
+
+__all__ = ["render_chart", "protocol_glyphs"]
+
+#: default glyphs: first letter, uppercased, disambiguated
+def protocol_glyphs(protocols: Sequence[str]) -> Dict[str, str]:
+    """Single-character markers per protocol (``f-matrix-no`` -> ``o``)."""
+    glyphs: Dict[str, str] = {}
+    for protocol in protocols:
+        if protocol == "f-matrix-no":
+            glyph = "o"
+        else:
+            glyph = protocol[0].upper()
+        if glyph in glyphs.values():
+            for char in protocol.upper():
+                if char.isalpha() and char not in glyphs.values():
+                    glyph = char
+                    break
+        glyphs[protocol] = glyph
+    return glyphs
+
+
+def _format_y(value: float) -> str:
+    return f"{value:8.2e}"
+
+
+def render_chart(
+    result: ExperimentResult,
+    *,
+    metric: str = "response_time",
+    height: int = 16,
+    width: int = 64,
+    log_y: bool = False,
+) -> str:
+    """Draw one experiment's curves as an ASCII chart.
+
+    ``metric`` is ``response_time`` or ``restart_ratio``.
+    """
+    if metric not in ("response_time", "restart_ratio"):
+        raise ValueError("metric must be response_time or restart_ratio")
+    if height < 4 or width < 16:
+        raise ValueError("chart too small to draw")
+
+    points: List[Tuple[str, float, float]] = []
+    for protocol, series in result.series.items():
+        for point in series.points:
+            value = getattr(point, metric).mean
+            points.append((protocol, point.x, value))
+    if not points:
+        raise ValueError("nothing to plot")
+
+    xs = sorted({x for _p, x, _v in points})
+    values = [v for _p, _x, v in points]
+    v_min, v_max = min(values), max(values)
+    if log_y:
+        if v_min <= 0:
+            log_floor = min((v for v in values if v > 0), default=1.0) / 10
+            transform = lambda v: math.log10(max(v, log_floor))
+        else:
+            transform = math.log10
+    else:
+        transform = lambda v: v
+    t_min, t_max = transform(v_min), transform(v_max)
+    t_span = (t_max - t_min) or 1.0
+
+    def row_of(value: float) -> int:
+        frac = (transform(value) - t_min) / t_span
+        return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+    def col_of(x: float) -> int:
+        if len(xs) == 1:
+            return width // 2
+        frac = (x - xs[0]) / (xs[-1] - xs[0])
+        return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = protocol_glyphs(list(result.series))
+    for protocol, x, value in points:
+        row = height - 1 - row_of(value)
+        col = col_of(x)
+        cell = grid[row][col]
+        grid[row][col] = glyphs[protocol] if cell == " " else "*"
+
+    lines = [f"== {result.name}: {metric.replace('_', ' ')} =="]
+    for idx, row in enumerate(grid):
+        if idx == 0:
+            label = _format_y(v_max)
+        elif idx == height - 1:
+            label = _format_y(v_min)
+        else:
+            label = " " * 8
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * 8 + "+" + "-" * width)
+    # x tick labels spread under their columns
+    tick_row = [" "] * (width + 1)
+    for x in xs:
+        label = f"{x:g}"
+        col = col_of(x)
+        start = min(max(0, col - len(label) // 2), width - len(label))
+        for k, ch in enumerate(label):
+            tick_row[start + k] = ch
+    lines.append(" " * 9 + "".join(tick_row))
+    legend = "  ".join(f"{glyph}={protocol}" for protocol, glyph in glyphs.items())
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines) + "\n"

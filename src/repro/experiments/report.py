@@ -1,0 +1,99 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The paper plots curves; a terminal harness prints the same information as
+aligned tables — one row per x value, one column pair (response time,
+restarts) per protocol — which is what the benchmark suite emits and what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, Sequence
+
+from .sweeps import ExperimentResult, Series
+
+__all__ = ["format_table", "format_csv", "format_overheads"]
+
+
+def _fmt_resp(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    return f"{value / 1e6:10.3f}"
+
+
+def _fmt_restarts(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    return f"{value:8.2f}"
+
+
+def _collect_xs(result: ExperimentResult) -> List[float]:
+    xs: List[float] = []
+    for series in result.series.values():
+        for x in series.xs:
+            if x not in xs:
+                xs.append(x)
+    return sorted(xs)
+
+
+def _lookup(series: Series, x: float, attr: str) -> Optional[float]:
+    for point in series.points:
+        if point.x == x:
+            return getattr(point, attr).mean
+    return None
+
+
+def format_table(result: ExperimentResult, *, restarts: bool = True) -> str:
+    """Aligned text table: response time (×10⁶ bit-units) per protocol."""
+    protocols = list(result.series)
+    xs = _collect_xs(result)
+    out = io.StringIO()
+    out.write(f"== {result.name}: response time (x1e6 bit-units) ==\n")
+    header = f"{result.xlabel:>38s} | " + " | ".join(f"{p:>10s}" for p in protocols)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for x in xs:
+        cells = [
+            _fmt_resp(_lookup(result.series[p], x, "response_time"))
+            for p in protocols
+        ]
+        out.write(f"{x:>38g} | " + " | ".join(cells) + "\n")
+    if restarts:
+        out.write(f"\n== {result.name}: restart ratio ==\n")
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for x in xs:
+            cells = [
+                _fmt_restarts(_lookup(result.series[p], x, "restart_ratio"))
+                for p in protocols
+            ]
+            out.write(f"{x:>38g} | " + " | ".join(cells) + "\n")
+    return out.getvalue()
+
+
+def format_csv(result: ExperimentResult) -> str:
+    """CSV with one row per (protocol, x) point, CI columns included."""
+    out = io.StringIO()
+    out.write(
+        "experiment,protocol,x,response_mean,response_ci_halfwidth,"
+        "restart_mean,restart_ci_halfwidth,samples\n"
+    )
+    for protocol, series in result.series.items():
+        for point in series.points:
+            out.write(
+                f"{result.name},{protocol},{point.x:g},"
+                f"{point.response_time.mean:.1f},{point.response_time.ci_halfwidth:.1f},"
+                f"{point.restart_ratio.mean:.4f},{point.restart_ratio.ci_halfwidth:.4f},"
+                f"{point.response_time.count}\n"
+            )
+    return out.getvalue()
+
+
+def format_overheads(overheads: dict) -> str:
+    """Render the Table 1 / Sec. 4.1 overhead fractions."""
+    out = io.StringIO()
+    out.write("== control-information overhead fraction of cycle ==\n")
+    for protocol, fraction in overheads.items():
+        out.write(f"{protocol:>12s}: {fraction * 100:6.2f}%\n")
+    return out.getvalue()

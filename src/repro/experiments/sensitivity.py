@@ -1,0 +1,88 @@
+"""Sensitivity analysis of the simulator's modelling substitutions.
+
+DESIGN.md §4 lists choices the paper leaves unspecified and we had to
+make: the distribution of server inter-completion gaps, whether an
+inter-operation delay precedes the first read, and the timestamp
+arithmetic on the wire.  The reproduction's conclusions should not
+depend on them.  :func:`sensitivity_table` re-runs one configuration
+under every variant and reports the relative deviation of the response
+time from the baseline; the benchmark suite asserts the deviations stay
+small, and EXPERIMENTS.md cites the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..sim.batch import replicate
+from ..sim.config import SimulationConfig
+
+__all__ = ["Variant", "VARIANTS", "SensitivityRow", "sensitivity_table"]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One modelling alternative to flip on."""
+
+    name: str
+    description: str
+    apply: Callable[[SimulationConfig], SimulationConfig]
+
+
+#: the substitutions DESIGN.md documents, as config transformers
+VARIANTS: Tuple[Variant, ...] = (
+    Variant(
+        "deterministic-gaps",
+        "server completions at fixed (not exponential) intervals",
+        lambda cfg: cfg.replace(server_interval_distribution="deterministic"),
+    ),
+    Variant(
+        "delay-first-op",
+        "inter-operation think time also before the first read",
+        lambda cfg: cfg.replace(delay_before_first_operation=True),
+    ),
+    Variant(
+        "modulo-timestamps",
+        "8-bit wire timestamps with wrap-around comparison",
+        lambda cfg: cfg.replace(modulo_timestamps=True),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Baseline-vs-variant comparison for one variant."""
+
+    variant: str
+    description: str
+    baseline_mean: float
+    variant_mean: float
+
+    @property
+    def relative_deviation(self) -> float:
+        if self.baseline_mean == 0:
+            return 0.0
+        return (self.variant_mean - self.baseline_mean) / self.baseline_mean
+
+
+def sensitivity_table(
+    config: SimulationConfig,
+    *,
+    variants: Sequence[Variant] = VARIANTS,
+    replications: int = 3,
+) -> List[SensitivityRow]:
+    """Run baseline + each variant (replicated) and tabulate deviations."""
+    baseline = replicate(config, replications=replications)
+    rows: List[SensitivityRow] = []
+    for variant in variants:
+        run = replicate(variant.apply(config), replications=replications)
+        rows.append(
+            SensitivityRow(
+                variant.name,
+                variant.description,
+                baseline.response_time.mean,
+                run.response_time.mean,
+            )
+        )
+    return rows

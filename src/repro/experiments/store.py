@@ -1,0 +1,154 @@
+"""Persist experiment results as JSON; compare runs for regressions.
+
+A results archive turns the harness into a living benchmark: save a run
+per commit/machine, then diff shapes across runs.
+
+* :func:`save_result` / :func:`load_result` — lossless JSON round-trip of
+  an :class:`repro.experiments.sweeps.ExperimentResult` (means, CIs,
+  sample counts, sim metadata);
+* :func:`compare_results` — align two runs point-by-point and report
+  relative response-time drift, flagging points beyond a tolerance;
+  pooled CI half-widths are honoured (overlapping intervals are never
+  flagged).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..sim.metrics import SummaryStat
+from .sweeps import ExperimentResult, Point, Series
+
+__all__ = ["save_result", "load_result", "Drift", "compare_results"]
+
+_FORMAT_VERSION = 1
+
+
+def _stat_to_dict(stat: SummaryStat) -> Dict[str, float]:
+    return {
+        "mean": stat.mean,
+        "stddev": stat.stddev,
+        "count": stat.count,
+        "ci_halfwidth": stat.ci_halfwidth,
+    }
+
+
+def _stat_from_dict(data: Dict[str, float]) -> SummaryStat:
+    return SummaryStat(
+        float(data["mean"]),
+        float(data["stddev"]),
+        int(data["count"]),
+        float(data["ci_halfwidth"]),
+    )
+
+
+def save_result(result: ExperimentResult, path: Union[str, pathlib.Path]) -> None:
+    """Serialise a result (atomically: write then rename)."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": result.name,
+        "xlabel": result.xlabel,
+        "series": {
+            protocol: [
+                {
+                    "x": point.x,
+                    "response_time": _stat_to_dict(point.response_time),
+                    "restart_ratio": _stat_to_dict(point.restart_ratio),
+                    "sim_time": point.sim_time,
+                    "events": point.events,
+                }
+                for point in series.points
+            ]
+            for protocol, series in result.series.items()
+        },
+    }
+    target = pathlib.Path(path)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    tmp.replace(target)
+
+
+def load_result(path: Union[str, pathlib.Path]) -> ExperimentResult:
+    """Load a result saved by :func:`save_result`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported results format version {version!r}")
+    result = ExperimentResult(payload["name"], payload["xlabel"])
+    for protocol, points in payload["series"].items():
+        series = Series(protocol)
+        for entry in points:
+            series.points.append(
+                Point(
+                    x=float(entry["x"]),
+                    response_time=_stat_from_dict(entry["response_time"]),
+                    restart_ratio=_stat_from_dict(entry["restart_ratio"]),
+                    sim_time=float(entry["sim_time"]),
+                    events=int(entry["events"]),
+                )
+            )
+        result.series[protocol] = series
+    return result
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One aligned point's change between two runs."""
+
+    protocol: str
+    x: float
+    baseline_mean: float
+    current_mean: float
+    relative_change: float
+    #: True when the two 95% intervals do not overlap AND the relative
+    #: change exceeds the tolerance
+    significant: bool
+
+
+def compare_results(
+    baseline: ExperimentResult,
+    current: ExperimentResult,
+    *,
+    tolerance: float = 0.10,
+) -> List[Drift]:
+    """Point-by-point response-time drift, worst first.
+
+    Points present in only one run are ignored (sweeps may differ); a
+    drift is *significant* only if the confidence intervals are disjoint
+    and the relative change exceeds ``tolerance``.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    drifts: List[Drift] = []
+    for protocol, base_series in baseline.series.items():
+        cur_series = current.series.get(protocol)
+        if cur_series is None:
+            continue
+        cur_points = {p.x: p for p in cur_series.points}
+        for base_point in base_series.points:
+            cur_point = cur_points.get(base_point.x)
+            if cur_point is None:
+                continue
+            b, c = base_point.response_time, cur_point.response_time
+            if b.mean == 0:
+                relative = 0.0 if c.mean == 0 else float("inf")
+            else:
+                relative = (c.mean - b.mean) / b.mean
+            intervals_disjoint = (
+                b.ci[1] < c.ci[0] or c.ci[1] < b.ci[0]
+            )
+            drifts.append(
+                Drift(
+                    protocol=protocol,
+                    x=base_point.x,
+                    baseline_mean=b.mean,
+                    current_mean=c.mean,
+                    relative_change=relative,
+                    significant=intervals_disjoint and abs(relative) > tolerance,
+                )
+            )
+    drifts.sort(key=lambda d: abs(d.relative_change), reverse=True)
+    return drifts

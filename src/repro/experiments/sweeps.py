@@ -1,0 +1,131 @@
+"""Parameter-sweep machinery for the evaluation experiments.
+
+An experiment varies one :class:`repro.sim.SimulationConfig` field across
+a list of values for several protocols, runs one simulation per (value,
+protocol) point, and gathers the series the paper plots: mean response
+time (bit-units) and restart ratio, with 95% confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.config import SimulationConfig
+from ..sim.metrics import SummaryStat
+from ..sim.simulation import SimulationResult, run_simulation
+
+__all__ = ["Point", "Series", "ExperimentResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class Point:
+    """One (x, protocol) measurement."""
+
+    x: float
+    response_time: SummaryStat
+    restart_ratio: SummaryStat
+    sim_time: float
+    events: int
+
+
+@dataclass
+class Series:
+    """One protocol's curve across the sweep."""
+
+    protocol: str
+    points: List[Point] = field(default_factory=list)
+
+    @property
+    def xs(self) -> Tuple[float, ...]:
+        return tuple(p.x for p in self.points)
+
+    @property
+    def response_means(self) -> Tuple[float, ...]:
+        return tuple(p.response_time.mean for p in self.points)
+
+    @property
+    def restart_means(self) -> Tuple[float, ...]:
+        return tuple(p.restart_ratio.mean for p in self.points)
+
+    def response_at(self, x: float) -> float:
+        for p in self.points:
+            if p.x == x:
+                return p.response_time.mean
+        raise KeyError(f"no point at x={x}")
+
+    def restart_at(self, x: float) -> float:
+        for p in self.points:
+            if p.x == x:
+                return p.restart_ratio.mean
+        raise KeyError(f"no point at x={x}")
+
+
+@dataclass
+class ExperimentResult:
+    """All series of one experiment, ready for reporting."""
+
+    name: str
+    xlabel: str
+    series: Dict[str, Series] = field(default_factory=dict)
+
+    def protocols(self) -> Tuple[str, ...]:
+        return tuple(self.series)
+
+    def ordering_holds(
+        self, x: float, better: str, worse: str, *, margin: float = 1.0
+    ) -> bool:
+        """Does ``better`` beat ``worse`` on response time at ``x``?
+
+        ``margin`` < 1 tolerates near-ties (e.g. 0.95 allows 5% slack).
+        """
+        return (
+            self.series[better].response_at(x)
+            <= self.series[worse].response_at(x) * margin
+        )
+
+
+def run_sweep(
+    name: str,
+    xlabel: str,
+    base_config: SimulationConfig,
+    param: str,
+    values: Sequence,
+    protocols: Sequence[str],
+    *,
+    config_hook: Optional[Callable[[SimulationConfig, object], SimulationConfig]] = None,
+    skip: Optional[Callable[[str, object], bool]] = None,
+    progress: Optional[Callable[[str, object, SimulationResult], None]] = None,
+) -> ExperimentResult:
+    """Run the full grid and collect series.
+
+    * ``param`` — the config field to vary (ignored when ``config_hook``
+      is given, which maps (base, value) -> config directly);
+    * ``skip(protocol, value)`` — omit points (the paper leaves Datacycle
+      off the chart where it exceeds the y-axis);
+    * ``progress`` — callback after each point (CLI prints rows).
+    """
+    result = ExperimentResult(name, xlabel)
+    for protocol in protocols:
+        series = Series(protocol)
+        for value in values:
+            if skip is not None and skip(protocol, value):
+                continue
+            if config_hook is not None:
+                config = config_hook(base_config, value)
+            else:
+                config = base_config.replace(**{param: value})
+            config = config.replace(protocol=protocol)
+            run = run_simulation(config)
+            point = Point(
+                x=float(value),
+                response_time=run.response_time,
+                restart_ratio=run.restart_ratio,
+                sim_time=run.sim_time,
+                events=run.events,
+            )
+            series.points.append(point)
+            if progress is not None:
+                progress(protocol, value, run)
+        result.series[protocol] = series
+    return result

@@ -1,0 +1,126 @@
+"""Versioned object store for the broadcast server.
+
+The paper (Sec. 3.2.1, server functionality) requires the server to keep
+*two* versions of each object: the latest committed version — which is
+what every broadcast cycle carries — and the last written (uncommitted)
+version.  :class:`Database` keeps the committed version per object plus a
+single working version slot; concurrent executors additionally buffer
+their writes privately until commit (strict two-phase locking makes the
+working slot single-writer at any instant).
+
+Committed versions carry provenance (writer id, commit cycle) so the
+simulation trace can rebuild the induced global history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..broadcast.program import ObjectVersion
+from ..core.model import T0
+
+__all__ = ["Database", "CommitRecord"]
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed update transaction, in serialization order."""
+
+    txn: str
+    commit_cycle: int
+    commit_seq: int
+    read_set: Tuple[int, ...]
+    writes: Tuple[Tuple[int, object], ...]
+
+
+class Database:
+    """Committed + working versions of ``n`` integer-identified objects.
+
+    Object ids are ``0..n-1``.  The initial committed version of every
+    object is written by the conventional transaction ``t0`` at cycle 0
+    with value ``initial_value`` (paper Appendix A's convention).
+    """
+
+    def __init__(self, num_objects: int, initial_value: object = 0):
+        if num_objects <= 0:
+            raise ValueError("num_objects must be positive")
+        self._n = num_objects
+        self._committed: List[ObjectVersion] = [
+            ObjectVersion(obj, initial_value, T0, 0) for obj in range(num_objects)
+        ]
+        self._working: Dict[int, Tuple[object, str]] = {}
+        self._commit_seq = 0
+        self._log: List[CommitRecord] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        return self._n
+
+    @property
+    def commit_log(self) -> Tuple[CommitRecord, ...]:
+        """All committed update transactions, in serialization order."""
+        return tuple(self._log)
+
+    def committed(self, obj: int) -> ObjectVersion:
+        """The latest committed version of ``obj``."""
+        return self._committed[obj]
+
+    def committed_snapshot(self) -> Tuple[ObjectVersion, ...]:
+        """All latest committed versions (the broadcast payload)."""
+        return tuple(self._committed)
+
+    def last_written(self, obj: int) -> Tuple[object, str]:
+        """The last written (possibly uncommitted) version of ``obj``.
+
+        Falls back to the committed version when no write is pending.
+        """
+        if obj in self._working:
+            return self._working[obj]
+        version = self._committed[obj]
+        return (version.value, version.writer)
+
+    # ------------------------------------------------------------------
+    def stage_write(self, txn: str, obj: int, value: object) -> None:
+        """Record an uncommitted write (the "last written version")."""
+        if not 0 <= obj < self._n:
+            raise IndexError(f"object {obj} out of range")
+        self._working[obj] = (value, txn)
+
+    def discard_writes(self, txn: str, objs: Iterable[int]) -> None:
+        """Drop a transaction's staged writes (abort path)."""
+        for obj in objs:
+            staged = self._working.get(obj)
+            if staged is not None and staged[1] == txn:
+                del self._working[obj]
+
+    def apply_commit(
+        self,
+        txn: str,
+        commit_cycle: int,
+        read_set: Iterable[int],
+        writes: Mapping[int, object],
+    ) -> CommitRecord:
+        """Install a transaction's writes as the committed versions.
+
+        Must be called in serialization order (the executors guarantee
+        commit order == serialization order).  Returns the log record.
+        """
+        self._commit_seq += 1
+        for obj, value in writes.items():
+            if not 0 <= obj < self._n:
+                raise IndexError(f"object {obj} out of range")
+            self._committed[obj] = ObjectVersion(obj, value, txn, commit_cycle)
+            staged = self._working.get(obj)
+            if staged is not None and staged[1] == txn:
+                del self._working[obj]
+        record = CommitRecord(
+            txn,
+            commit_cycle,
+            self._commit_seq,
+            tuple(sorted(set(read_set))),
+            tuple(sorted(writes.items())),
+        )
+        self._log.append(record)
+        return record

@@ -1,0 +1,202 @@
+"""Shared/exclusive lock manager with deadlock detection.
+
+Used by the strict-2PL executor (:mod:`repro.server.twopl`) that runs
+update transactions *at the server* — the component the paper assumes
+exists ("using a concurrency control mechanism ensure the conflict
+serializability of all transactions submitted to the server",
+Sec. 3.2.1).  Clients never take locks; that is the whole point of the
+paper.
+
+Deadlocks are detected by cycle search over the waits-for graph at every
+blocked acquisition; the victim is the youngest transaction in the cycle
+(largest start sequence).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["LockMode", "LockManager", "DeadlockError", "LockRequest"]
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class DeadlockError(RuntimeError):
+    """Raised at the victim when a lock acquisition closes a cycle."""
+
+    def __init__(self, victim: str, cycle: Sequence[str]):
+        super().__init__(f"deadlock: victim={victim} cycle={'->'.join(cycle)}")
+        self.victim = victim
+        self.cycle = tuple(cycle)
+
+
+@dataclass
+class LockRequest:
+    txn: str
+    mode: LockMode
+
+
+@dataclass
+class _LockState:
+    holders: Dict[str, LockMode] = field(default_factory=dict)
+    queue: List[LockRequest] = field(default_factory=list)
+
+
+def _compatible(mode: LockMode, holders: Dict[str, LockMode], txn: str) -> bool:
+    others = {t: m for t, m in holders.items() if t != txn}
+    if not others:
+        return True
+    if mode is LockMode.SHARED:
+        return all(m is LockMode.SHARED for m in others.values())
+    return False
+
+
+class LockManager:
+    """S/X locks per object with FIFO queues and waits-for deadlock checks."""
+
+    def __init__(self):
+        self._locks: Dict[int, _LockState] = {}
+        self._held_by_txn: Dict[str, Set[int]] = {}
+        self._start_seq: Dict[str, int] = {}
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    def register(self, txn: str) -> None:
+        """Record a transaction's start (age used for victim selection)."""
+        if txn not in self._start_seq:
+            self._start_seq[txn] = self._next_seq
+            self._next_seq += 1
+
+    def holds(self, txn: str, obj: int, mode: LockMode) -> bool:
+        state = self._locks.get(obj)
+        if state is None:
+            return False
+        held = state.holders.get(txn)
+        if held is None:
+            return False
+        return held is LockMode.EXCLUSIVE or mode is LockMode.SHARED
+
+    def acquire(self, txn: str, obj: int, mode: LockMode) -> bool:
+        """Try to take (or upgrade) a lock.
+
+        Returns ``True`` when granted; ``False`` when the transaction must
+        wait (it is queued).  Raises :class:`DeadlockError` if waiting
+        would close a waits-for cycle and ``txn`` is chosen as victim; if
+        another transaction in the cycle is the victim, the error names it
+        and the caller aborts that one instead.
+        """
+        self.register(txn)
+        state = self._locks.setdefault(obj, _LockState())
+        held = state.holders.get(txn)
+        if held is LockMode.EXCLUSIVE or (held is not None and mode is LockMode.SHARED):
+            return True
+        upgrade = held is LockMode.SHARED and mode is LockMode.EXCLUSIVE
+
+        queued_ahead = [r for r in state.queue if r.txn != txn]
+        if _compatible(mode, state.holders, txn) and (upgrade or not queued_ahead):
+            state.holders[txn] = mode
+            self._held_by_txn.setdefault(txn, set()).add(obj)
+            state.queue[:] = [r for r in state.queue if r.txn != txn]
+            return True
+
+        if not any(r.txn == txn for r in state.queue):
+            state.queue.append(LockRequest(txn, mode))
+        cycle = self._find_deadlock(txn)
+        if cycle:
+            victim = max(cycle, key=lambda t: self._start_seq.get(t, -1))
+            raise DeadlockError(victim, cycle)
+        return False
+
+    def release_all(self, txn: str) -> List[Tuple[str, int]]:
+        """Release every lock and queued request of ``txn``.
+
+        Returns ``(txn, obj)`` pairs newly granted as a result, so the
+        executor can resume waiters.
+        """
+        held = set(self._held_by_txn.get(txn, ()))
+        queued = {
+            obj
+            for obj, state in self._locks.items()
+            if any(r.txn == txn for r in state.queue)
+        }
+        # drop the queue entries first: a stale head request of `txn`
+        # must not keep blocking the waiters behind it
+        for state in self._locks.values():
+            state.queue[:] = [r for r in state.queue if r.txn != txn]
+        granted: List[Tuple[str, int]] = []
+        for obj in sorted(held | queued):
+            self._locks[obj].holders.pop(txn, None)
+            granted.extend(self._drain_queue(obj))
+        self._held_by_txn.pop(txn, None)
+        return granted
+
+    def _drain_queue(self, obj: int) -> List[Tuple[str, int]]:
+        state = self._locks[obj]
+        granted: List[Tuple[str, int]] = []
+        while state.queue:
+            request = state.queue[0]
+            if not _compatible(request.mode, state.holders, request.txn):
+                break
+            state.queue.pop(0)
+            state.holders[request.txn] = request.mode
+            self._held_by_txn.setdefault(request.txn, set()).add(obj)
+            granted.append((request.txn, obj))
+            if request.mode is LockMode.EXCLUSIVE:
+                break
+        return granted
+
+    # ------------------------------------------------------------------
+    def waits_for(self) -> Dict[str, Set[str]]:
+        """The waits-for graph.
+
+        A queued request waits on (a) every conflicting current holder and
+        (b) every conflicting request queued *ahead* of it — FIFO grant
+        order makes those genuine waits, and omitting them would let
+        queue-mediated deadlocks go undetected.
+        """
+        graph: Dict[str, Set[str]] = {}
+        for state in self._locks.values():
+            for index, request in enumerate(state.queue):
+                blockers = {
+                    t for t, m in state.holders.items()
+                    if t != request.txn
+                    and not (m is LockMode.SHARED and request.mode is LockMode.SHARED)
+                }
+                blockers.update(
+                    ahead.txn
+                    for ahead in state.queue[:index]
+                    if ahead.txn != request.txn
+                    and not (
+                        ahead.mode is LockMode.SHARED
+                        and request.mode is LockMode.SHARED
+                    )
+                )
+                if blockers:
+                    graph.setdefault(request.txn, set()).update(blockers)
+        return graph
+
+    def _find_deadlock(self, start: str) -> Optional[List[str]]:
+        graph = self.waits_for()
+        path: List[str] = []
+        on_path: Set[str] = set()
+
+        def dfs(node: str) -> Optional[List[str]]:
+            path.append(node)
+            on_path.add(node)
+            for nxt in graph.get(node, ()):
+                if nxt == start:
+                    return list(path)
+                if nxt not in on_path:
+                    found = dfs(nxt)
+                    if found is not None:
+                        return found
+            path.pop()
+            on_path.discard(node)
+            return None
+
+        return dfs(start)

@@ -1,0 +1,170 @@
+"""Optimistic (backward-validation) executor for server transactions.
+
+The paper observes that APPROX "is based on a validation based approach
+to effecting clients' updates" and expects it to behave like optimistic
+methods under contention.  To make that comparison concrete the library
+ships a second server-side concurrency-control executor next to strict
+2PL (:mod:`repro.server.twopl`): classic backward-validation OCC
+(Kung–Robinson style, serial validation):
+
+* **read phase** — a transaction reads committed versions and buffers
+  its writes privately, stamped with the commit sequence number current
+  at its start;
+* **validation** — at commit, it checks that no transaction committed
+  since its start wrote anything it read; a conflict restarts it;
+* **write phase** — installs its writes atomically; commit order is the
+  serialization order (reads were current at commit).
+
+Interface-compatible with :class:`repro.server.twopl.TwoPLExecutor`
+(same :class:`ExecutionResult`), so the test suite can assert both yield
+conflict-serializable histories and the benchmark suite can ablate
+blocking vs restarting under rising contention.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.model import History, Operation
+from ..core.model import commit as commit_op
+from ..core.model import read as read_op
+from ..core.model import write as write_op
+from .database import Database
+from .twopl import ExecutionResult, TransactionProgram
+
+__all__ = ["OCCExecutor"]
+
+
+@dataclass
+class _Running:
+    program: TransactionProgram
+    start_seq: int
+    attempt: int = 0
+    cursor: int = 0
+    reads: Dict[int, object] = field(default_factory=dict)
+    writes: Dict[int, object] = field(default_factory=dict)
+    ops: List[Operation] = field(default_factory=list)
+
+    def reset(self, start_seq: int) -> None:
+        self.start_seq = start_seq
+        self.attempt += 1
+        self.cursor = 0
+        self.reads = {}
+        self.writes = {}
+        self.ops = []
+
+
+class OCCExecutor:
+    """Run update-transaction programs under backward-validation OCC."""
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        cycle_of_commit: Optional[Callable[[int], int]] = None,
+        value_fn: Optional[Callable[[str, int, int], object]] = None,
+    ):
+        self.database = database
+        self._cycle_of_commit = cycle_of_commit or (lambda seq: seq)
+        self._value_fn = value_fn or (lambda tid, obj, attempt: (tid, obj, attempt))
+        #: write sets of committed transactions, by commit seq (1-based)
+        self._committed_write_sets: List[Set[int]] = []
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        programs: Sequence[TransactionProgram],
+        *,
+        rng: Optional[random.Random] = None,
+        max_steps: int = 1_000_000,
+    ) -> ExecutionResult:
+        """Interleave program steps; validate at commit; restart losers."""
+        running: Dict[str, _Running] = {
+            p.tid: _Running(p, start_seq=len(self._committed_write_sets))
+            for p in programs
+        }
+        if len(running) != len(programs):
+            raise ValueError("duplicate transaction ids")
+        restarts: Dict[str, int] = {p.tid: 0 for p in programs}
+        read_values: Dict[str, Dict[int, object]] = {}
+        log: List[Tuple[str, int, Operation]] = []
+        committed_attempts: Dict[str, int] = {}
+        commit_order: List[str] = []
+        pending = list(running)
+        rr_index = 0
+        steps = 0
+
+        while pending:
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("executor exceeded max_steps")
+            if rng is not None:
+                tid = rng.choice(pending)
+            else:
+                tid = pending[rr_index % len(pending)]
+                rr_index += 1
+            state = running[tid]
+            program = state.program
+
+            if state.cursor >= len(program.steps):
+                if self._validate(state):
+                    seq = len(commit_order) + 1
+                    cycle = self._cycle_of_commit(seq)
+                    self.database.apply_commit(
+                        tid, cycle, state.reads.keys(), state.writes
+                    )
+                    self._committed_write_sets.append(set(state.writes))
+                    # write phase: buffered writes become visible (and
+                    # enter the history) only now — logging them at
+                    # buffer time would fabricate reads-from edges from
+                    # writes nobody could see
+                    for obj in sorted(state.writes):
+                        log.append((tid, state.attempt, write_op(tid, str(obj))))
+                    log.append((tid, state.attempt, commit_op(tid, cycle=cycle)))
+                    committed_attempts[tid] = state.attempt
+                    commit_order.append(tid)
+                    read_values[tid] = dict(state.reads)
+                    pending.remove(tid)
+                else:
+                    restarts[tid] += 1
+                    state.reset(start_seq=len(self._committed_write_sets))
+                continue
+
+            kind, obj = program.steps[state.cursor]
+            if kind == "r":
+                value = (
+                    state.writes[obj]
+                    if obj in state.writes
+                    else self.database.committed(obj).value
+                )
+                state.reads[obj] = value
+                op = read_op(tid, str(obj))
+                state.ops.append(op)
+                log.append((tid, state.attempt, op))
+            else:
+                value = self._value_fn(tid, obj, state.attempt)
+                state.writes[obj] = value  # buffered until the write phase
+            state.cursor += 1
+
+        committed_ops = [
+            op
+            for (tid, attempt, op) in log
+            if committed_attempts.get(tid) == attempt
+        ]
+        return ExecutionResult(
+            History(committed_ops, strict=False),
+            tuple(commit_order),
+            restarts,
+            read_values,
+        )
+
+    # ------------------------------------------------------------------
+    def _validate(self, state: _Running) -> bool:
+        """Backward validation: nothing read was overwritten since start."""
+        read_set = set(state.reads)
+        for write_set in self._committed_write_sets[state.start_seq :]:
+            if write_set & read_set:
+                return False
+        return True

@@ -1,0 +1,143 @@
+"""The broadcast server (Sec. 3.2.1, "Server Functionality").
+
+Responsibilities, exactly as the paper lists them:
+
+1. at the beginning of every cycle, broadcast the latest *committed*
+   values of all objects — :meth:`BroadcastServer.begin_cycle` freezes
+   them into a :class:`repro.broadcast.BroadcastCycle`;
+2. ensure conflict serializability of transactions submitted to it —
+   server-resident transactions commit through
+   :meth:`BroadcastServer.commit_update` in serialization order (the
+   strict-2PL executor or the simulation's completion process provide
+   that order), and client-submitted update transactions go through
+   backward validation (:meth:`BroadcastServer.submit_client_update`);
+3. transmit the control information each cycle — the per-cycle
+   :class:`repro.core.validators.ControlSnapshot` carries the full matrix,
+   the vector, or the grouped matrix depending on the protocol in force.
+
+The server always maintains the last-committed-write vector (it is the
+validation state for client updates) and additionally the full or grouped
+matrix when the protocol requires it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..broadcast.program import BroadcastCycle
+from ..core.control_matrix import ControlMatrix
+from ..core.cycles import CycleArithmetic, UnboundedCycles
+from ..core.group_matrix import GroupedControlState, LastWriteVector, Partition
+from ..core.validators import PROTOCOL_NAMES, ControlSnapshot
+from .database import CommitRecord, Database
+from .validation import BackwardValidator, UpdateSubmission, ValidationOutcome
+
+__all__ = ["BroadcastServer"]
+
+
+class BroadcastServer:
+    """Owns the database and control state; produces broadcast cycles."""
+
+    def __init__(
+        self,
+        num_objects: int,
+        protocol: str = "f-matrix",
+        *,
+        arithmetic: Optional[CycleArithmetic] = None,
+        partition: Optional[Partition] = None,
+        initial_value: object = 0,
+    ):
+        if protocol not in PROTOCOL_NAMES:
+            raise ValueError(
+                f"unknown protocol {protocol!r}; choose from {PROTOCOL_NAMES}"
+            )
+        self.protocol = protocol
+        self.arithmetic = arithmetic or UnboundedCycles()
+        self.database = Database(num_objects, initial_value)
+        self.vector = LastWriteVector(num_objects)
+        self.matrix: Optional[ControlMatrix] = None
+        self.grouped: Optional[GroupedControlState] = None
+        if protocol in ("f-matrix", "f-matrix-no"):
+            self.matrix = ControlMatrix(num_objects)
+        elif protocol == "group-matrix":
+            if partition is None:
+                raise ValueError("group-matrix requires a partition")
+            self.grouped = GroupedControlState(partition)
+        self._validator = BackwardValidator(self.vector)
+        self.current_cycle = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        return self.database.num_objects
+
+    # ------------------------------------------------------------------
+    def begin_cycle(self, cycle: int) -> BroadcastCycle:
+        """Freeze committed values + control info for broadcast ``cycle``.
+
+        Commits applied *during* cycle ``k`` are visible from the cycle
+        ``k+1`` broadcast onwards — the snapshot is taken at cycle start.
+        """
+        if cycle <= self.current_cycle:
+            raise ValueError(
+                f"cycles must advance (got {cycle}, at {self.current_cycle})"
+            )
+        self.current_cycle = cycle
+        return BroadcastCycle(
+            cycle=cycle,
+            versions=self.database.committed_snapshot(),
+            snapshot=self._control_snapshot(cycle),
+        )
+
+    def _control_snapshot(self, cycle: int) -> ControlSnapshot:
+        encode = self.arithmetic.encode_array
+        if self.matrix is not None:
+            return ControlSnapshot(cycle, matrix=encode(self.matrix.snapshot()))
+        if self.grouped is not None:
+            return ControlSnapshot(
+                cycle,
+                grouped=encode(self.grouped.snapshot()),
+                partition=self.grouped.partition,
+            )
+        return ControlSnapshot(cycle, vector=encode(self.vector.snapshot()))
+
+    # ------------------------------------------------------------------
+    def commit_update(
+        self,
+        txn: str,
+        read_set: Iterable[int],
+        writes: Mapping[int, object],
+        *,
+        cycle: Optional[int] = None,
+    ) -> CommitRecord:
+        """Commit one update transaction in serialization order.
+
+        ``cycle`` defaults to the server's current broadcast cycle.  The
+        database installs the writes and every control structure in force
+        applies its Theorem 2-style increment.
+        """
+        commit_cycle = self.current_cycle if cycle is None else cycle
+        rs = tuple(read_set)
+        record = self.database.apply_commit(txn, commit_cycle, rs, writes)
+        self.vector.apply_commit(commit_cycle, rs, writes.keys())
+        if self.matrix is not None:
+            self.matrix.apply_commit(commit_cycle, rs, writes.keys())
+        if self.grouped is not None:
+            self.grouped.apply_commit(commit_cycle, rs, writes.keys())
+        return record
+
+    # ------------------------------------------------------------------
+    def submit_client_update(
+        self, submission: UpdateSubmission, *, cycle: Optional[int] = None
+    ) -> ValidationOutcome:
+        """Validate a client update transaction; install writes on success."""
+        commit_cycle = self.current_cycle if cycle is None else cycle
+        outcome = self._validator.validate(submission, current_cycle=commit_cycle)
+        if outcome.committed:
+            self.commit_update(
+                submission.txn,
+                submission.read_set,
+                dict(submission.writes),
+                cycle=commit_cycle,
+            )
+        return outcome

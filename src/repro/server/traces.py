@@ -1,0 +1,124 @@
+"""Recordable, replayable client workloads.
+
+Synthetic generators are fine for the paper's experiments, but a
+production evaluation also wants *fixed* workloads: record what a
+generator produced (or hand-craft a scenario), save it as JSON, and
+replay it bit-for-bit across protocols, machines and code versions.
+
+* :class:`WorkloadTrace` — an ordered list of read sets (one per client
+  transaction) with JSON round-trip;
+* :func:`record_trace` — capture the next ``n`` transactions of any
+  generator with a ``next_transaction() -> (tid, read_set)`` method;
+* :class:`TraceWorkload` — replays a trace through the same interface
+  the simulator consumes (:class:`repro.server.workload.ClientWorkload`
+  compatible), cycling if the run needs more transactions than recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["WorkloadTrace", "record_trace", "TraceWorkload"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """An immutable sequence of client read sets."""
+
+    num_objects: int
+    read_sets: Tuple[Tuple[int, ...], ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_objects <= 0:
+            raise ValueError("num_objects must be positive")
+        if not self.read_sets:
+            raise ValueError("a trace needs at least one transaction")
+        for idx, read_set in enumerate(self.read_sets):
+            if not read_set:
+                raise ValueError(f"transaction {idx} reads nothing")
+            if len(set(read_set)) != len(read_set):
+                raise ValueError(f"transaction {idx} repeats an object")
+            for obj in read_set:
+                if not 0 <= obj < self.num_objects:
+                    raise ValueError(
+                        f"transaction {idx} reads {obj}, outside 0..{self.num_objects - 1}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.read_sets)
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        payload = {
+            "format_version": _FORMAT_VERSION,
+            "num_objects": self.num_objects,
+            "description": self.description,
+            "read_sets": [list(rs) for rs in self.read_sets],
+        }
+        target = pathlib.Path(path)
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1))
+        tmp.replace(target)
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "WorkloadTrace":
+        payload = json.loads(pathlib.Path(path).read_text())
+        version = payload.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version!r}")
+        return cls(
+            num_objects=int(payload["num_objects"]),
+            read_sets=tuple(tuple(rs) for rs in payload["read_sets"]),
+            description=payload.get("description", ""),
+        )
+
+
+def record_trace(
+    workload, transactions: int, *, description: str = ""
+) -> WorkloadTrace:
+    """Capture ``transactions`` read sets from a generator."""
+    if transactions < 1:
+        raise ValueError("record at least one transaction")
+    read_sets = []
+    for _ in range(transactions):
+        _tid, objects = workload.next_transaction()
+        read_sets.append(tuple(objects))
+    return WorkloadTrace(
+        num_objects=workload.num_objects,
+        read_sets=tuple(read_sets),
+        description=description,
+    )
+
+
+class TraceWorkload:
+    """Replay a :class:`WorkloadTrace` through the generator interface."""
+
+    def __init__(self, trace: WorkloadTrace, *, tid_prefix: str = "c"):
+        self.trace = trace
+        self.num_objects = trace.num_objects
+        self._index = 0
+        self._tid_prefix = tid_prefix
+        #: how many times the trace wrapped around
+        self.wraps = 0
+
+    def next_read_set(self) -> Tuple[int, ...]:
+        read_set = self.trace.read_sets[self._index]
+        self._index += 1
+        if self._index >= len(self.trace):
+            self._index = 0
+            self.wraps += 1
+        return read_set
+
+    def next_transaction(self) -> Tuple[str, Tuple[int, ...]]:
+        serial = self.wraps * len(self.trace) + self._index + 1
+        return f"{self._tid_prefix}{serial}", self.next_read_set()
+
+    def __iter__(self) -> Iterator[Tuple[str, Tuple[int, ...]]]:
+        while True:
+            yield self.next_transaction()

@@ -1,0 +1,218 @@
+"""Strict two-phase-locking executor for server update transactions.
+
+The paper assumes the server runs its update transactions under any
+concurrency control that yields *conflict serializable* executions whose
+serialization order is the commit order (Sec. 3.2.1 computes the control
+matrix "as per a serialization order").  This executor provides exactly
+that substrate:
+
+* strict 2PL — S lock per read, X lock per write, all locks held to end;
+* FIFO queues with deadlock detection, youngest-victim abort + restart;
+* commit order == serialization order (a strict-2PL guarantee);
+* the committed execution is returned as a :class:`repro.core.History`
+  so the theory layer can verify it.
+
+The interleaving is driven either round-robin or by a caller-supplied
+random stream, which lets property tests explore many interleavings
+deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.model import History, Operation
+from ..core.model import commit as commit_op
+from ..core.model import read as read_op
+from ..core.model import write as write_op
+from .database import Database
+from .locks import DeadlockError, LockManager, LockMode
+
+__all__ = ["TransactionProgram", "ExecutionResult", "TwoPLExecutor"]
+
+
+@dataclass(frozen=True)
+class TransactionProgram:
+    """A static update-transaction program: ordered reads and writes.
+
+    ``steps`` is a sequence of ``("r", obj)`` / ``("w", obj)`` pairs.  The
+    value written is produced by the executor's ``value_fn`` (default: a
+    ``(txn, obj, attempt)`` provenance triple).
+    """
+
+    tid: str
+    steps: Tuple[Tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        for kind, obj in self.steps:
+            if kind not in ("r", "w"):
+                raise ValueError(f"bad step kind {kind!r}")
+            if obj < 0:
+                raise ValueError("object ids must be non-negative")
+
+    @property
+    def read_set(self) -> Tuple[int, ...]:
+        return tuple(obj for kind, obj in self.steps if kind == "r")
+
+    @property
+    def write_set(self) -> Tuple[int, ...]:
+        return tuple(obj for kind, obj in self.steps if kind == "w")
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a batch of programs to completion."""
+
+    history: History
+    commit_order: Tuple[str, ...]
+    restarts: Dict[str, int]
+    read_values: Dict[str, Dict[int, object]]
+
+
+@dataclass
+class _Running:
+    program: TransactionProgram
+    attempt: int = 0
+    cursor: int = 0
+    reads: Dict[int, object] = field(default_factory=dict)
+    writes: Dict[int, object] = field(default_factory=dict)
+    blocked: bool = False
+    ops: List[Operation] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.attempt += 1
+        self.cursor = 0
+        self.reads = {}
+        self.writes = {}
+        self.blocked = False
+        self.ops = []
+
+
+class TwoPLExecutor:
+    """Run update-transaction programs under strict 2PL against a database."""
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        cycle_of_commit: Optional[Callable[[int], int]] = None,
+        value_fn: Optional[Callable[[str, int, int], object]] = None,
+    ):
+        self.database = database
+        #: maps commit sequence number (1-based) -> broadcast cycle
+        self._cycle_of_commit = cycle_of_commit or (lambda seq: seq)
+        self._value_fn = value_fn or (lambda tid, obj, attempt: (tid, obj, attempt))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        programs: Sequence[TransactionProgram],
+        *,
+        rng: Optional[random.Random] = None,
+        max_steps: int = 1_000_000,
+    ) -> ExecutionResult:
+        """Execute all programs to commit, interleaving their steps.
+
+        With ``rng`` the next runnable transaction is chosen uniformly at
+        random (deterministic given the seed); otherwise round-robin.
+        Deadlock victims restart from scratch (locks released, staged
+        writes discarded, operations of the aborted attempt dropped from
+        the committed history).
+        """
+        locks = LockManager()
+        running: Dict[str, _Running] = {p.tid: _Running(p) for p in programs}
+        if len(running) != len(programs):
+            raise ValueError("duplicate transaction ids")
+        restarts: Dict[str, int] = {p.tid: 0 for p in programs}
+        read_values: Dict[str, Dict[int, object]] = {}
+        # global interleaved log: (tid, attempt, op); only committed
+        # attempts survive into the returned history
+        log: List[Tuple[str, int, Operation]] = []
+        committed_attempts: Dict[str, int] = {}
+        commit_order: List[str] = []
+        pending = list(running)
+        rr_index = 0
+        steps = 0
+
+        def unblock(granted: Sequence[Tuple[str, int]]) -> None:
+            for granted_txn, _obj in granted:
+                if granted_txn in running:
+                    running[granted_txn].blocked = False
+
+        def abort_restart(victim: str) -> None:
+            state = running[victim]
+            self.database.discard_writes(victim, state.writes.keys())
+            unblock(locks.release_all(victim))
+            state.reset()
+            restarts[victim] += 1
+
+        while pending:
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("executor exceeded max_steps (livelock?)")
+            candidates = [t for t in pending if not running[t].blocked]
+            if not candidates:
+                raise RuntimeError("all transactions blocked without deadlock")
+            if rng is not None:
+                tid = rng.choice(candidates)
+            else:
+                tid = candidates[rr_index % len(candidates)]
+                rr_index += 1
+            state = running[tid]
+            program = state.program
+
+            if state.cursor >= len(program.steps):
+                seq = len(commit_order) + 1
+                cycle = self._cycle_of_commit(seq)
+                self.database.apply_commit(tid, cycle, state.reads.keys(), state.writes)
+                log.append((tid, state.attempt, commit_op(tid, cycle=cycle)))
+                committed_attempts[tid] = state.attempt
+                commit_order.append(tid)
+                read_values[tid] = dict(state.reads)
+                pending.remove(tid)
+                unblock(locks.release_all(tid))
+                continue
+
+            kind, obj = program.steps[state.cursor]
+            mode = LockMode.SHARED if kind == "r" else LockMode.EXCLUSIVE
+            try:
+                granted = locks.acquire(tid, obj, mode)
+            except DeadlockError as deadlock:
+                abort_restart(deadlock.victim)
+                continue
+            if not granted:
+                state.blocked = True
+                continue
+            self._perform(tid, state, kind, obj)
+            log.append((tid, state.attempt, state.ops[-1]))
+
+        committed_ops = [
+            op
+            for (tid, attempt, op) in log
+            if committed_attempts.get(tid) == attempt
+        ]
+        return ExecutionResult(
+            History(committed_ops, strict=False),
+            tuple(commit_order),
+            restarts,
+            read_values,
+        )
+
+    # ------------------------------------------------------------------
+    def _perform(self, tid: str, state: _Running, kind: str, obj: int) -> None:
+        if kind == "r":
+            # strict 2PL: committed value unless this txn wrote it already
+            if obj in state.writes:
+                value = state.writes[obj]
+            else:
+                value = self.database.committed(obj).value
+            state.reads[obj] = value
+            state.ops.append(read_op(tid, str(obj)))
+        else:
+            value = self._value_fn(tid, obj, state.attempt)
+            state.writes[obj] = value
+            self.database.stage_write(tid, obj, value)
+            state.ops.append(write_op(tid, str(obj)))
+        state.cursor += 1

@@ -1,0 +1,198 @@
+"""Workload generators (Table 1 of the paper).
+
+* :class:`ServerWorkload` — update transactions completing at the server:
+  each has ``length`` operations, each operation is a read with
+  probability ``read_probability`` (else a write), objects drawn uniformly
+  without replacement (the formal model reads/writes an object at most
+  once per transaction).
+* :class:`ClientWorkload` — read-only client transactions: ``length``
+  distinct objects drawn uniformly.
+* :class:`ClientUpdateWorkload` — the client-update extension: a read-only
+  prefix followed by writes to a subset of read objects plus optionally
+  fresh ones (exercises the uplink/validation path).
+
+All generators draw from a private :class:`random.Random` stream so runs
+are reproducible and independent of each other.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ServerTransactionSpec",
+    "ServerWorkload",
+    "ClientWorkload",
+    "ClientUpdateSpec",
+    "ClientUpdateWorkload",
+]
+
+
+@dataclass(frozen=True)
+class ServerTransactionSpec:
+    """One generated server update transaction."""
+
+    tid: str
+    read_set: Tuple[int, ...]
+    write_set: Tuple[int, ...]
+
+    @property
+    def is_update(self) -> bool:
+        return bool(self.write_set)
+
+
+class ServerWorkload:
+    """Uniform-access server update transactions (Table 1 defaults)."""
+
+    def __init__(
+        self,
+        num_objects: int,
+        *,
+        length: int = 8,
+        read_probability: float = 0.5,
+        seed: int = 0,
+        tid_prefix: str = "s",
+    ):
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        if not 0.0 <= read_probability <= 1.0:
+            raise ValueError("read_probability must be in [0, 1]")
+        if length > num_objects:
+            raise ValueError("length cannot exceed num_objects (no repeats)")
+        self.num_objects = num_objects
+        self.length = length
+        self.read_probability = read_probability
+        self._rng = random.Random(seed)
+        self._counter = itertools.count(1)
+        self._tid_prefix = tid_prefix
+
+    def next_transaction(self) -> ServerTransactionSpec:
+        objects = self._rng.sample(range(self.num_objects), self.length)
+        reads: List[int] = []
+        writes: List[int] = []
+        for obj in objects:
+            if self._rng.random() < self.read_probability:
+                reads.append(obj)
+            else:
+                writes.append(obj)
+        tid = f"{self._tid_prefix}{next(self._counter)}"
+        return ServerTransactionSpec(tid, tuple(reads), tuple(writes))
+
+    def __iter__(self) -> Iterator[ServerTransactionSpec]:
+        while True:
+            yield self.next_transaction()
+
+
+class ClientWorkload:
+    """Read-only client transactions: uniform or hot/cold-skewed access.
+
+    With ``access_skew > 0``, each read targets the *hot set* (the first
+    ``ceil(hot_fraction · n)`` objects) with that probability and the cold
+    remainder otherwise — the classic broadcast-disk access pattern that
+    multi-speed layouts exploit.  ``access_skew = 0`` (the paper's
+    setting) is plain uniform sampling.
+    """
+
+    def __init__(
+        self,
+        num_objects: int,
+        *,
+        length: int = 4,
+        seed: int = 0,
+        tid_prefix: str = "c",
+        access_skew: float = 0.0,
+        hot_fraction: float = 0.2,
+    ):
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        if length > num_objects:
+            raise ValueError("length cannot exceed num_objects (no repeats)")
+        if not 0.0 <= access_skew <= 1.0:
+            raise ValueError("access_skew must be in [0, 1]")
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        self.num_objects = num_objects
+        self.length = length
+        self.access_skew = access_skew
+        self.hot_set_size = max(1, int(num_objects * hot_fraction))
+        self._rng = random.Random(seed)
+        self._counter = itertools.count(1)
+        self._tid_prefix = tid_prefix
+
+    def next_read_set(self) -> Tuple[int, ...]:
+        if self.access_skew == 0.0:
+            return tuple(self._rng.sample(range(self.num_objects), self.length))
+        hot = list(range(self.hot_set_size))
+        cold = list(range(self.hot_set_size, self.num_objects))
+        chosen: List[int] = []
+        for _ in range(self.length):
+            pool = hot if (cold == [] or (hot and self._rng.random() < self.access_skew)) else cold
+            obj = self._rng.choice(pool)
+            pool.remove(obj)
+            chosen.append(obj)
+        return tuple(chosen)
+
+    def next_transaction(self) -> Tuple[str, Tuple[int, ...]]:
+        return f"{self._tid_prefix}{next(self._counter)}", self.next_read_set()
+
+    def __iter__(self) -> Iterator[Tuple[str, Tuple[int, ...]]]:
+        while True:
+            yield self.next_transaction()
+
+
+@dataclass(frozen=True)
+class ClientUpdateSpec:
+    """One generated client update transaction."""
+
+    tid: str
+    read_set: Tuple[int, ...]
+    write_set: Tuple[int, ...]
+
+
+class ClientUpdateWorkload:
+    """Client update transactions: read some objects, then write a few.
+
+    ``write_fraction`` of the read objects are rewritten (at least one);
+    with probability ``blind_write_probability`` one additional unread
+    object is written blindly.
+    """
+
+    def __init__(
+        self,
+        num_objects: int,
+        *,
+        length: int = 4,
+        write_fraction: float = 0.5,
+        blind_write_probability: float = 0.0,
+        seed: int = 0,
+        tid_prefix: str = "u",
+    ):
+        if not 0.0 < write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in (0, 1]")
+        if length > num_objects:
+            raise ValueError("length cannot exceed num_objects (no repeats)")
+        self.num_objects = num_objects
+        self.length = length
+        self.write_fraction = write_fraction
+        self.blind_write_probability = blind_write_probability
+        self._rng = random.Random(seed)
+        self._counter = itertools.count(1)
+        self._tid_prefix = tid_prefix
+
+    def next_transaction(self) -> ClientUpdateSpec:
+        reads = self._rng.sample(range(self.num_objects), self.length)
+        num_writes = max(1, round(self.length * self.write_fraction))
+        writes = list(self._rng.sample(reads, min(num_writes, len(reads))))
+        if self._rng.random() < self.blind_write_probability:
+            fresh = [o for o in range(self.num_objects) if o not in reads]
+            if fresh:
+                writes.append(self._rng.choice(fresh))
+        tid = f"{self._tid_prefix}{next(self._counter)}"
+        return ClientUpdateSpec(tid, tuple(reads), tuple(writes))
+
+    def __iter__(self) -> Iterator[ClientUpdateSpec]:
+        while True:
+            yield self.next_transaction()

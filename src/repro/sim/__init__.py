@@ -1,0 +1,37 @@
+"""Discrete-event simulation of the broadcast-disk system (Sec. 4 setup)."""
+
+from .batch import ReplicatedResult, replicate, replication_seeds
+from .config import KILOBYTE_BITS, SimulationConfig
+from .engine import Process, Simulator, Timeout, WaitUntil, Waive
+from .metrics import (
+    MetricsCollector,
+    SummaryStat,
+    TransactionSample,
+    batch_means,
+    summarize,
+)
+from .simulation import BroadcastSimulation, SimulationResult, run_simulation
+from .trace import ClientCommitRecord, TraceRecorder
+
+__all__ = [
+    "SimulationConfig",
+    "KILOBYTE_BITS",
+    "Simulator",
+    "Process",
+    "Timeout",
+    "WaitUntil",
+    "Waive",
+    "MetricsCollector",
+    "SummaryStat",
+    "TransactionSample",
+    "summarize",
+    "batch_means",
+    "replicate",
+    "ReplicatedResult",
+    "replication_seeds",
+    "BroadcastSimulation",
+    "SimulationResult",
+    "run_simulation",
+    "TraceRecorder",
+    "ClientCommitRecord",
+]

@@ -1,0 +1,193 @@
+"""Simulation parameters (Table 1 of the paper).
+
+:class:`SimulationConfig` defaults to the paper's Table 1 values; every
+experiment varies one field and keeps the rest.  Times are in *bit-units*
+(time to broadcast one bit).  For the paper's 64 Kbit/s medium, the
+inter-operation delay of 65536 bit-units is 1 second and the
+inter-transaction delay of 131072 bit-units is 2 seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..broadcast.control_info import ControlInfoScheme, scheme_for_protocol
+from ..broadcast.layout import FlatLayout, MultiDiskLayout
+from ..core.cycles import CycleArithmetic, ModuloCycles, UnboundedCycles
+from ..core.group_matrix import Partition, uniform_partition
+from ..core.validators import PROTOCOL_NAMES
+
+__all__ = ["SimulationConfig", "KILOBYTE_BITS"]
+
+#: bits in the paper's 1 KB object
+KILOBYTE_BITS = 8 * 1024
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All knobs of the broadcast-disk simulation (Table 1 defaults)."""
+
+    protocol: str = "f-matrix"
+
+    # -- Table 1 ---------------------------------------------------------
+    #: number of read operations per client transaction
+    client_txn_length: int = 4
+    #: number of read/write operations per server transaction
+    server_txn_length: int = 8
+    #: mean bit-units between server transaction completions (rate 1/x)
+    server_txn_interval: float = 250_000.0
+    num_objects: int = 300
+    #: object size in bits (1 KB in the paper)
+    object_size_bits: int = KILOBYTE_BITS
+    server_read_probability: float = 0.5
+    #: mean of the exponential inter-operation delay at the client
+    mean_inter_operation_delay: float = 65_536.0
+    #: mean of the exponential inter-transaction delay at the client
+    mean_inter_transaction_delay: float = 131_072.0
+    #: fixed delay before a restarted attempt begins
+    restart_delay: float = 0.0
+    timestamp_bits: int = 8
+
+    # -- run shape --------------------------------------------------------
+    #: client transactions to commit before the run ends
+    num_client_transactions: int = 1000
+    #: fraction of final transactions used for steady-state statistics
+    measure_fraction: float = 0.5
+    num_clients: int = 1
+    seed: int = 42
+
+    # -- modelling choices (documented in DESIGN.md) ----------------------
+    #: "exponential" (default) or "deterministic" server completion gaps
+    server_interval_distribution: str = "exponential"
+    #: apply an inter-operation delay before the first read too?
+    delay_before_first_operation: bool = False
+    #: compare timestamps modulo 2**timestamp_bits (paper's wire format)
+    modulo_timestamps: bool = False
+
+    # -- group-matrix protocol --------------------------------------------
+    num_groups: int = 1
+
+    # -- quasi-caching extension (Sec. 3.3) --------------------------------
+    #: currency bound T in bit-units; None disables the client cache
+    cache_currency_bound: Optional[float] = None
+    cache_capacity: Optional[int] = None
+
+    # -- multi-speed broadcast disks (extension; Acharya et al.) -----------
+    #: "flat" (paper: single-speed) or "multi-disk" (hot/cold two-speed)
+    layout_kind: str = "flat"
+    #: fraction of objects on the hot disk
+    hot_fraction: float = 0.2
+    #: relative broadcast frequency of the hot disk (cold disk = 1)
+    hot_frequency: int = 3
+    #: probability a client read targets the hot set (0 = uniform, paper)
+    client_access_skew: float = 0.0
+
+    # -- failure injection --------------------------------------------------
+    #: probability a client misses an awaited broadcast slot (radio loss);
+    #: the read retries at the object's next appearance
+    broadcast_loss_probability: float = 0.0
+
+    # -- client update transactions over the uplink (Sec. 3.2.1) -----------
+    #: fraction of client transactions that also write (0 = paper's Sec. 4
+    #: setting: read-only clients)
+    client_update_fraction: float = 0.0
+    #: fraction of an update transaction's read set it rewrites
+    client_update_write_fraction: float = 0.5
+    #: round-trip bit-time for submit + verdict on the scarce uplink
+    uplink_round_trip: float = 8_192.0
+
+    # ----------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOL_NAMES:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOL_NAMES}"
+            )
+        if self.client_txn_length < 1:
+            raise ValueError("client_txn_length must be >= 1")
+        if self.server_txn_length < 1:
+            raise ValueError("server_txn_length must be >= 1")
+        if self.num_objects < self.client_txn_length:
+            raise ValueError("client transactions read distinct objects")
+        if self.num_objects < self.server_txn_length:
+            raise ValueError("server transactions access distinct objects")
+        if not 0 < self.measure_fraction <= 1:
+            raise ValueError("measure_fraction must be in (0, 1]")
+        if self.server_interval_distribution not in ("exponential", "deterministic"):
+            raise ValueError("unknown server_interval_distribution")
+        if self.num_clients < 1:
+            raise ValueError("num_clients must be >= 1")
+        if not 0.0 <= self.client_update_fraction <= 1.0:
+            raise ValueError("client_update_fraction must be in [0, 1]")
+        if not 0.0 < self.client_update_write_fraction <= 1.0:
+            raise ValueError("client_update_write_fraction must be in (0, 1]")
+        if self.uplink_round_trip < 0:
+            raise ValueError("uplink_round_trip must be non-negative")
+        if not 0.0 <= self.broadcast_loss_probability < 1.0:
+            raise ValueError("broadcast_loss_probability must be in [0, 1)")
+        if self.layout_kind not in ("flat", "multi-disk"):
+            raise ValueError("layout_kind must be 'flat' or 'multi-disk'")
+        if self.hot_frequency < 1:
+            raise ValueError("hot_frequency must be >= 1")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= self.client_access_skew <= 1.0:
+            raise ValueError("client_access_skew must be in [0, 1]")
+
+    # ----------------------------------------------------------------
+    def replace(self, **changes) -> "SimulationConfig":
+        """A modified copy (sweeps use this)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- derived quantities -------------------------------------------
+    def arithmetic(self) -> CycleArithmetic:
+        if self.modulo_timestamps:
+            return ModuloCycles(self.timestamp_bits)
+        return UnboundedCycles(self.timestamp_bits)
+
+    def partition(self) -> Optional[Partition]:
+        if self.protocol != "group-matrix":
+            return None
+        return uniform_partition(self.num_objects, self.num_groups)
+
+    def control_scheme(self) -> ControlInfoScheme:
+        return scheme_for_protocol(
+            self.protocol,
+            num_objects=self.num_objects,
+            timestamp_bits=self.timestamp_bits,
+            num_groups=self.num_groups,
+        )
+
+    def layout(self):
+        """The broadcast layout: flat (paper) or hot/cold multi-disk."""
+        scheme = self.control_scheme()
+        if self.layout_kind == "multi-disk":
+            hot_size = max(1, int(self.num_objects * self.hot_fraction))
+            hot = list(range(hot_size))
+            cold = list(range(hot_size, self.num_objects))
+            disks = [(self.hot_frequency, hot)]
+            if cold:
+                disks.append((1, cold))
+            return MultiDiskLayout(
+                disks,
+                self.object_size_bits,
+                control_bits_per_slot=scheme.bits_per_slot,
+            )
+        return FlatLayout(
+            self.num_objects,
+            self.object_size_bits,
+            control_bits_per_slot=scheme.bits_per_slot,
+            preamble_bits=scheme.bits_per_cycle_extra,
+        )
+
+    @property
+    def cycle_bits(self) -> int:
+        return self.layout().cycle_bits
+
+    @property
+    def control_overhead_fraction(self) -> float:
+        """Fraction of cycle time spent on control info (Sec. 4.1)."""
+        return self.control_scheme().overhead_fraction(
+            self.num_objects, self.object_size_bits
+        )

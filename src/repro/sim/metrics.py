@@ -1,0 +1,153 @@
+"""Run statistics: response times, restart ratios, confidence intervals.
+
+The paper reports, per data point, mean transaction response time and the
+restart ratio over the last 500 of 1000 committed client transactions
+("steady-state data"), with 95% confidence intervals whose widths are
+below 10% of the point estimates.  This module reproduces that pipeline:
+per-transaction samples → steady-state trim → summary with CI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["TransactionSample", "SummaryStat", "MetricsCollector", "summarize"]
+
+#: two-sided 97.5% standard-normal quantile (large-sample t fallback)
+_Z_975 = 1.959963984540054
+
+
+def _t_quantile_975(dof: int) -> float:
+    """Two-sided 95% Student-t quantile; scipy when present, else normal."""
+    try:
+        from scipy import stats
+
+        return float(stats.t.ppf(0.975, dof))
+    except Exception:  # pragma: no cover - scipy is installed in CI
+        return _Z_975
+
+
+@dataclass(frozen=True)
+class TransactionSample:
+    """One committed client transaction's measurements."""
+
+    tid: str
+    submit_time: float
+    commit_time: float
+    restarts: int
+
+    @property
+    def response_time(self) -> float:
+        return self.commit_time - self.submit_time
+
+
+@dataclass(frozen=True)
+class SummaryStat:
+    """Mean with a 95% confidence interval."""
+
+    mean: float
+    stddev: float
+    count: int
+    ci_halfwidth: float
+
+    @property
+    def ci(self) -> Tuple[float, float]:
+        return (self.mean - self.ci_halfwidth, self.mean + self.ci_halfwidth)
+
+    @property
+    def ci_relative_width(self) -> float:
+        """CI half-width as a fraction of the mean (paper: < 10%)."""
+        if self.mean == 0:
+            return 0.0
+        return self.ci_halfwidth / abs(self.mean)
+
+
+def summarize(values: Sequence[float]) -> SummaryStat:
+    """Mean, stddev and 95% CI of a sample."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot summarise an empty sample")
+    mean = sum(values) / n
+    if n == 1:
+        return SummaryStat(mean, 0.0, 1, 0.0)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stddev = math.sqrt(var)
+    half = _t_quantile_975(n - 1) * stddev / math.sqrt(n)
+    return SummaryStat(mean, stddev, n, half)
+
+
+def batch_means(values: Sequence[float], num_batches: int = 10) -> SummaryStat:
+    """Batch-means estimate for autocorrelated series.
+
+    Successive response times within one run are correlated (they share
+    cycles and server state), so the naive per-sample t-interval is
+    optimistic.  The classic remedy splits the series into ``num_batches``
+    contiguous batches and treats the batch means as (approximately)
+    independent samples; the returned CI is over those.
+    """
+    if num_batches < 2:
+        raise ValueError("need at least two batches")
+    if len(values) < num_batches:
+        raise ValueError("fewer samples than batches")
+    size = len(values) // num_batches
+    means = [
+        sum(values[k * size : (k + 1) * size]) / size for k in range(num_batches)
+    ]
+    return summarize(means)
+
+
+class MetricsCollector:
+    """Accumulates per-transaction samples during a run."""
+
+    def __init__(self):
+        self.samples: List[TransactionSample] = []
+        self.reads_delivered = 0
+        self.reads_rejected = 0
+        self.cache_hits = 0
+        self.server_commits = 0
+        self.client_updates_committed = 0
+        self.client_updates_rejected = 0
+        self.broadcast_losses = 0
+        #: bit-time spent listening to the broadcast (tuning time) — the
+        #: battery-relevant cost: each off-air read charges its slot
+        self.listening_bits = 0.0
+
+    # ------------------------------------------------------------------
+    def record_commit(
+        self, tid: str, submit_time: float, commit_time: float, restarts: int
+    ) -> None:
+        self.samples.append(
+            TransactionSample(tid, submit_time, commit_time, restarts)
+        )
+
+    def steady_state(self, measure_fraction: float) -> List[TransactionSample]:
+        """The final ``measure_fraction`` of samples, in commit order."""
+        if not 0 < measure_fraction <= 1:
+            raise ValueError("measure_fraction must be in (0, 1]")
+        ordered = sorted(self.samples, key=lambda s: s.commit_time)
+        start = int(len(ordered) * (1 - measure_fraction))
+        return ordered[start:]
+
+    # ------------------------------------------------------------------
+    def response_time(self, measure_fraction: float = 0.5) -> SummaryStat:
+        window = self.steady_state(measure_fraction)
+        return summarize([s.response_time for s in window])
+
+    def restart_ratio(self, measure_fraction: float = 0.5) -> SummaryStat:
+        window = self.steady_state(measure_fraction)
+        return summarize([float(s.restarts) for s in window])
+
+    def mean_listening_per_commit(self) -> float:
+        """Tuning time (bits listened) per committed transaction."""
+        if not self.samples:
+            return 0.0
+        return self.listening_bits / len(self.samples)
+
+    def response_time_batch_means(
+        self, measure_fraction: float = 0.5, num_batches: int = 10
+    ) -> SummaryStat:
+        """Batch-means CI for the steady-state response times."""
+        window = self.steady_state(measure_fraction)
+        return batch_means([s.response_time for s in window], num_batches)

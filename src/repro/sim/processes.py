@@ -1,0 +1,266 @@
+"""Simulation processes: the broadcast cycle, the server, and clients.
+
+Event choreography (all times in bit-units):
+
+* the **cycle process** fires at every cycle boundary, freezing the
+  committed database + control info into the cycle's broadcast image;
+* the **server process** completes update transactions with exponential
+  (or deterministic) inter-completion gaps — rate 1 per
+  ``server_txn_interval`` (Table 1) — committing them in completion
+  order, which is therefore the serialization order the control matrix
+  needs;
+* each **client process** runs read-only transactions back to back: an
+  exponential think time before each read (except the first, matching
+  "inter-operation delay"), a wait until the object's slot in the
+  broadcast, validation against the cycle's control snapshot, abort and
+  restart from scratch on rejection, and an exponential inter-transaction
+  delay after commit.  Response time spans submission to commit,
+  including restarts (Sec. 4's metric).
+
+Object slots lie strictly inside a cycle and cycle-boundary events are
+scheduled before same-time reads, so a read at slot time ``t`` always
+observes the broadcast image of the cycle containing ``t``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..broadcast.layout import FlatLayout
+from ..broadcast.program import BroadcastCycle
+from ..client.cache import QuasiCache
+from ..client.runtime import ClientUpdateTransactionRuntime, ReadOnlyTransactionRuntime
+from ..core.validators import ReadValidator
+from ..server.server import BroadcastServer
+from ..server.workload import ClientWorkload, ServerWorkload
+from .config import SimulationConfig
+from .engine import Simulator, Timeout, WaitUntil
+from .metrics import MetricsCollector
+from .trace import TraceRecorder
+
+__all__ = ["SharedState", "cycle_process", "server_process", "client_process"]
+
+
+@dataclass
+class SharedState:
+    """State shared between the simulation's processes."""
+
+    current_broadcast: Optional[BroadcastCycle] = None
+    previous_broadcast: Optional[BroadcastCycle] = None
+    clients_done: int = 0
+    num_clients: int = 1
+
+    @property
+    def all_clients_done(self) -> bool:
+        return self.clients_done >= self.num_clients
+
+    def advance(self, broadcast: BroadcastCycle) -> None:
+        self.previous_broadcast = self.current_broadcast
+        self.current_broadcast = broadcast
+
+    def broadcast_for(self, cycle: int) -> BroadcastCycle:
+        """The broadcast image of ``cycle``.
+
+        The last object's slot ends exactly on the cycle boundary, at
+        which instant the next image has already been installed — hence
+        the previous image is retained one cycle.
+        """
+        for candidate in (self.current_broadcast, self.previous_broadcast):
+            if candidate is not None and candidate.cycle == cycle:
+                return candidate
+        raise RuntimeError(f"no broadcast image for cycle {cycle}")
+
+
+def cycle_process(
+    sim: Simulator,
+    server: BroadcastServer,
+    layout: FlatLayout,
+    state: SharedState,
+):
+    """Freeze and 'transmit' one broadcast image per cycle, forever."""
+    cycle = 0
+    while True:
+        cycle += 1
+        state.advance(server.begin_cycle(cycle))
+        yield Timeout(layout.cycle_bits)
+
+
+def server_process(
+    sim: Simulator,
+    config: SimulationConfig,
+    server: BroadcastServer,
+    workload: ServerWorkload,
+    layout: FlatLayout,
+    rng: random.Random,
+    metrics: MetricsCollector,
+):
+    """Complete server update transactions at the configured rate."""
+    deterministic = config.server_interval_distribution == "deterministic"
+    while True:
+        if deterministic:
+            gap = config.server_txn_interval
+        else:
+            gap = rng.expovariate(1.0 / config.server_txn_interval)
+        yield Timeout(gap)
+        spec = workload.next_transaction()
+        if not spec.write_set:
+            continue  # read-only at the server: nothing to install
+        cycle = layout.cycle_of(sim.now)
+        writes = {obj: spec.tid for obj in spec.write_set}
+        server.commit_update(spec.tid, spec.read_set, writes, cycle=cycle)
+        metrics.server_commits += 1
+
+
+def client_process(
+    sim: Simulator,
+    config: SimulationConfig,
+    client_id: int,
+    workload: ClientWorkload,
+    validator: ReadValidator,
+    layout: FlatLayout,
+    state: SharedState,
+    metrics: MetricsCollector,
+    rng: random.Random,
+    server: Optional[BroadcastServer] = None,
+    trace: Optional[TraceRecorder] = None,
+    cache: Optional[QuasiCache] = None,
+):
+    """Run ``num_client_transactions`` client transactions to commit.
+
+    A configurable fraction are *update* transactions (Sec. 3.2.1's
+    client functionality): they validate their reads off the air like
+    everyone else, buffer writes locally, and at commit ship the
+    submission over the uplink for backward validation — a rejection
+    restarts the transaction just like a failed read.
+    """
+    for _txn_index in range(config.num_client_transactions):
+        tid, objects = workload.next_transaction()
+        tid = f"cl{client_id}.{tid}"
+        is_update = (
+            config.client_update_fraction > 0.0
+            and server is not None
+            and rng.random() < config.client_update_fraction
+        )
+        if is_update:
+            runtime: ReadOnlyTransactionRuntime = ClientUpdateTransactionRuntime(
+                tid, objects, validator
+            )
+            num_writes = max(
+                1, round(len(objects) * config.client_update_write_fraction)
+            )
+            write_objs = list(objects[:num_writes])
+        else:
+            runtime = ReadOnlyTransactionRuntime(tid, objects, validator)
+            write_objs = []
+        submit_time = sim.now
+        restarts = 0
+
+        while True:  # attempts
+            committed = yield from _attempt(
+                sim, config, runtime, layout, state, metrics, rng, cache
+            )
+            if committed and is_update:
+                committed = yield from _submit_update(
+                    sim, config, runtime, write_objs, server, metrics
+                )
+            if committed:
+                break
+            restarts += 1
+            runtime.restart()
+            if config.restart_delay > 0:
+                yield Timeout(config.restart_delay)
+
+        metrics.record_commit(tid, submit_time, sim.now, restarts)
+        if trace is not None and not is_update:
+            trace.record_client_commit(tid, runtime.versions, runtime.reads)
+        yield Timeout(rng.expovariate(1.0 / config.mean_inter_transaction_delay))
+
+    state.clients_done += 1
+
+
+def _submit_update(
+    sim: Simulator,
+    config: SimulationConfig,
+    runtime: ReadOnlyTransactionRuntime,
+    write_objs,
+    server: "BroadcastServer",
+    metrics: MetricsCollector,
+):
+    """Ship a finished update transaction up the uplink; True iff committed."""
+    assert isinstance(runtime, ClientUpdateTransactionRuntime)
+    for obj in write_objs:
+        runtime.write(obj, f"{runtime.tid}#{runtime.attempt}")
+    yield Timeout(config.uplink_round_trip / 2)
+    outcome = server.submit_client_update(runtime.submission())
+    yield Timeout(config.uplink_round_trip / 2)
+    if outcome.committed:
+        metrics.client_updates_committed += 1
+        return True
+    metrics.client_updates_rejected += 1
+    return False
+
+
+def _attempt(
+    sim: Simulator,
+    config: SimulationConfig,
+    runtime: ReadOnlyTransactionRuntime,
+    layout: FlatLayout,
+    state: SharedState,
+    metrics: MetricsCollector,
+    rng: random.Random,
+    cache: Optional[QuasiCache],
+):
+    """One attempt of a client transaction; True iff it commits."""
+    first = True
+    while not runtime.is_done:
+        if not first or config.delay_before_first_operation:
+            yield Timeout(rng.expovariate(1.0 / config.mean_inter_operation_delay))
+        first = False
+        obj = runtime.next_object
+        assert obj is not None
+
+        broadcast: Optional[BroadcastCycle] = None
+        if cache is not None:
+            entry = cache.lookup(obj, sim.now)
+            if entry is not None:
+                broadcast = entry.as_broadcast()
+                metrics.cache_hits += 1
+        if broadcast is None:
+            while True:
+                hit = layout.next_read(obj, sim.now)
+                yield WaitUntil(hit.time)
+                if (
+                    config.broadcast_loss_probability > 0.0
+                    and rng.random() < config.broadcast_loss_probability
+                ):
+                    # radio loss: the slot went by unheard; catch the
+                    # object's next appearance
+                    metrics.broadcast_losses += 1
+                    yield Timeout(1.0)
+                    continue
+                break
+            broadcast = state.broadcast_for(hit.cycle)
+            # tuning time: the client listened for the whole slot (data +
+            # its control share); a cache hit costs nothing — the battery
+            # argument of Secs. 2.1/3.3 made measurable
+            metrics.listening_bits += layout.slot_bits
+            if cache is not None:
+                cache.insert(broadcast, obj, sim.now)
+
+        outcome = runtime.deliver(broadcast)
+        if outcome.ok:
+            metrics.reads_delivered += 1
+        else:
+            metrics.reads_rejected += 1
+            if cache is not None:
+                # every read of this attempt is a staleness suspect —
+                # evict them so the retry re-fetches off the air instead
+                # of re-aborting on the same cached versions
+                cache.evict(outcome.obj)
+                for read_obj, _cycle in runtime.reads:
+                    cache.evict(read_obj)
+            return False
+    runtime.commit()
+    return True

@@ -1,0 +1,185 @@
+"""Simulation assembly: wire config → server, layout, clients; run; report.
+
+:func:`run_simulation` is the one-call entry point used by the
+experiments, benchmarks and examples::
+
+    from repro.sim import SimulationConfig, run_simulation
+
+    result = run_simulation(SimulationConfig(protocol="f-matrix"))
+    print(result.response_time.mean, result.restart_ratio.mean)
+
+One simulator instance hosts: the cycle process, the server completion
+process, and ``num_clients`` client processes (the paper simulates one
+client — protocol decisions at distinct clients are independent, so a
+single client suffices for response-time statistics; more are supported).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..broadcast.layout import BroadcastLayout
+from ..client.cache import QuasiCache
+from ..core.validators import make_validator
+from ..server.server import BroadcastServer
+from ..server.workload import ClientWorkload, ServerWorkload
+from .config import SimulationConfig
+from .engine import Simulator
+from .metrics import MetricsCollector, SummaryStat
+from .processes import SharedState, client_process, cycle_process, server_process
+from .trace import TraceRecorder
+
+__all__ = ["SimulationResult", "BroadcastSimulation", "run_simulation"]
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one run (plus handles for deeper inspection)."""
+
+    config: SimulationConfig
+    response_time: SummaryStat
+    restart_ratio: SummaryStat
+    metrics: MetricsCollector
+    server: BroadcastServer
+    trace: Optional[TraceRecorder]
+    sim_time: float
+    events: int
+
+    @property
+    def protocol(self) -> str:
+        return self.config.protocol
+
+
+class BroadcastSimulation:
+    """Builds and runs one simulation described by a config."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        collect_trace: bool = False,
+        client_workloads: Optional[List] = None,
+    ):
+        """``client_workloads`` optionally overrides the per-client
+        generators — any objects with ``next_transaction()`` (e.g.
+        :class:`repro.server.traces.TraceWorkload` for replayable
+        workloads); one per client."""
+        self.config = config
+        self.layout: BroadcastLayout = config.layout()
+        self.server = BroadcastServer(
+            config.num_objects,
+            config.protocol,
+            arithmetic=config.arithmetic(),
+            partition=config.partition(),
+        )
+        self.metrics = MetricsCollector()
+        self.trace = TraceRecorder() if collect_trace else None
+        self.state = SharedState(num_clients=config.num_clients)
+        self.sim = Simulator()
+
+        base_seed = config.seed
+        self._server_workload = ServerWorkload(
+            config.num_objects,
+            length=config.server_txn_length,
+            read_probability=config.server_read_probability,
+            seed=base_seed * 1_000_003 + 1,
+        )
+        self._server_rng = random.Random(base_seed * 1_000_003 + 2)
+        if client_workloads is not None:
+            if len(client_workloads) != config.num_clients:
+                raise ValueError(
+                    f"need {config.num_clients} client workloads, "
+                    f"got {len(client_workloads)}"
+                )
+            self._client_workloads = list(client_workloads)
+        else:
+            self._client_workloads = [
+                ClientWorkload(
+                    config.num_objects,
+                    length=config.client_txn_length,
+                    seed=base_seed * 1_000_003 + 100 + k,
+                    access_skew=config.client_access_skew,
+                    hot_fraction=config.hot_fraction,
+                )
+                for k in range(config.num_clients)
+            ]
+        self._client_rngs = [
+            random.Random(base_seed * 1_000_003 + 200 + k)
+            for k in range(config.num_clients)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self, *, max_events: Optional[int] = None) -> SimulationResult:
+        config = self.config
+        sim = self.sim
+        sim.spawn(
+            cycle_process(sim, self.server, self.layout, self.state),
+            name="cycle",
+        )
+        sim.spawn(
+            server_process(
+                sim,
+                config,
+                self.server,
+                self._server_workload,
+                self.layout,
+                self._server_rng,
+                self.metrics,
+            ),
+            name="server",
+        )
+        for k in range(config.num_clients):
+            cache = None
+            if config.cache_currency_bound is not None:
+                cache = QuasiCache(
+                    config.cache_currency_bound, capacity=config.cache_capacity
+                )
+            validator = make_validator(
+                config.protocol,
+                arithmetic=config.arithmetic(),
+                partition=config.partition(),
+            )
+            sim.spawn(
+                client_process(
+                    sim,
+                    config,
+                    k,
+                    self._client_workloads[k],
+                    validator,
+                    self.layout,
+                    self.state,
+                    self.metrics,
+                    self._client_rngs[k],
+                    server=self.server,
+                    trace=self.trace,
+                    cache=cache,
+                ),
+                name=f"client-{k}",
+            )
+
+        sim.run(stop_when=lambda: self.state.all_clients_done, max_events=max_events)
+
+        return SimulationResult(
+            config=config,
+            response_time=self.metrics.response_time(config.measure_fraction),
+            restart_ratio=self.metrics.restart_ratio(config.measure_fraction),
+            metrics=self.metrics,
+            server=self.server,
+            trace=self.trace,
+            sim_time=sim.now,
+            events=sim.events_processed,
+        )
+
+
+def run_simulation(
+    config: SimulationConfig,
+    *,
+    collect_trace: bool = False,
+    max_events: Optional[int] = None,
+) -> SimulationResult:
+    """Build and run one simulation."""
+    return BroadcastSimulation(config, collect_trace=collect_trace).run(
+        max_events=max_events
+    )

@@ -1,0 +1,107 @@
+"""Cross-validation of simulation runs against the APPROX theory.
+
+A simulation run induces a global history: the server's committed update
+transactions (in serialization order, straight from the database's commit
+log) interleaved with the committed client read-only transactions.  The
+client reads carry provenance — each observed
+:class:`repro.broadcast.ObjectVersion` names the transaction whose write
+was read — so the history can be reconstructed with the *same* reads-from
+relation the run actually produced: each client read is placed
+immediately after the commit of the transaction it read from.
+
+Theorem 1 says the F-Matrix protocol commits a read-only transaction iff
+its serialization graph is acyclic, and Theorem 9 says R-Matrix accepts
+only APPROX schedules, so :meth:`TraceRecorder.verify` must find that the
+reconstructed history is accepted by APPROX for every protocol this
+library ships.  The integration tests run small simulations under each
+protocol and assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..broadcast.program import ObjectVersion
+from ..core.approx import ApproxReport, approx_report
+from ..core.model import History, Operation, T0
+from ..core.model import commit as commit_op
+from ..core.model import read as read_op
+from ..core.model import write as write_op
+from ..server.database import Database
+
+__all__ = ["ClientCommitRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class ClientCommitRecord:
+    """One committed client read-only transaction."""
+
+    tid: str
+    versions: Tuple[ObjectVersion, ...]
+    reads: Tuple[Tuple[int, int], ...]  # (obj, cycle) pairs
+
+
+class TraceRecorder:
+    """Collects client commits; reconstructs and verifies the history."""
+
+    def __init__(self):
+        self.client_commits: List[ClientCommitRecord] = []
+
+    def record_client_commit(
+        self,
+        tid: str,
+        versions: Sequence[ObjectVersion],
+        reads: Sequence[Tuple[int, int]],
+    ) -> None:
+        self.client_commits.append(
+            ClientCommitRecord(tid, tuple(versions), tuple(reads))
+        )
+
+    # ------------------------------------------------------------------
+    def build_history(self, database: Database) -> History:
+        """The induced global history, reads placed by provenance.
+
+        Update transactions appear serially in commit order.  Each client
+        read of a version written by ``w`` is inserted immediately after
+        ``w``'s commit (immediately at the start for ``t0`` versions), so
+        the positional reads-from of the result equals the observed one.
+        Client commits close the history.
+        """
+        blocks: List[List[Operation]] = [[]]
+        block_of_txn: Dict[str, int] = {T0: 0}
+        for record in database.commit_log:
+            ops: List[Operation] = []
+            for obj in record.read_set:
+                ops.append(read_op(record.txn, str(obj)))
+            for obj, _value in record.writes:
+                ops.append(write_op(record.txn, str(obj)))
+            ops.append(commit_op(record.txn, cycle=record.commit_cycle))
+            blocks.append(ops)
+            block_of_txn[record.txn] = len(blocks) - 1
+
+        inserts: Dict[int, List[Operation]] = {}
+        tail: List[Operation] = []
+        for client in self.client_commits:
+            cycles = dict(client.reads)
+            for version in client.versions:
+                op = read_op(client.tid, str(version.obj), cycle=cycles.get(version.obj))
+                writer_block = block_of_txn.get(version.writer)
+                if writer_block is None:
+                    raise ValueError(
+                        f"{client.tid} read from unknown writer {version.writer!r}"
+                    )
+                inserts.setdefault(writer_block, []).append(op)
+            tail.append(commit_op(client.tid))
+
+        ops_out: List[Operation] = []
+        for index, block in enumerate(blocks):
+            ops_out.extend(block)
+            ops_out.extend(inserts.get(index, ()))
+        ops_out.extend(tail)
+        return History(ops_out, strict=False)
+
+    # ------------------------------------------------------------------
+    def verify(self, database: Database) -> ApproxReport:
+        """Run APPROX on the reconstructed history (should accept)."""
+        return approx_report(self.build_history(database))

@@ -1,0 +1,73 @@
+"""Tests for control-information sizing (repro.broadcast.control_info)."""
+
+import pytest
+
+from repro.broadcast.control_info import ControlInfoScheme, scheme_for_protocol
+
+KB = 8 * 1024
+
+
+class TestSchemes:
+    def test_fmatrix_quadratic_per_cycle(self):
+        scheme = scheme_for_protocol("f-matrix", num_objects=300, timestamp_bits=8)
+        assert scheme.bits_per_slot == 300 * 8
+        assert scheme.cycle_control_bits(300) == 300 * 300 * 8
+
+    def test_vector_linear_per_cycle(self):
+        for protocol in ("r-matrix", "datacycle"):
+            scheme = scheme_for_protocol(protocol, num_objects=300, timestamp_bits=8)
+            assert scheme.bits_per_slot == 8
+            assert scheme.cycle_control_bits(300) == 300 * 8
+
+    def test_fmatrix_no_zero_cost(self):
+        scheme = scheme_for_protocol("f-matrix-no", num_objects=300, timestamp_bits=8)
+        assert scheme.cycle_control_bits(300) == 0
+
+    def test_grouped_between_extremes(self):
+        full = scheme_for_protocol("f-matrix", num_objects=100, timestamp_bits=8)
+        vec = scheme_for_protocol("r-matrix", num_objects=100, timestamp_bits=8)
+        grouped = scheme_for_protocol(
+            "group-matrix", num_objects=100, timestamp_bits=8, num_groups=10
+        )
+        assert (
+            vec.cycle_control_bits(100)
+            < grouped.cycle_control_bits(100)
+            < full.cycle_control_bits(100)
+        )
+        # g columns of n entries each
+        assert grouped.cycle_control_bits(100) == 10 * 100 * 8
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            scheme_for_protocol("bogus", num_objects=10, timestamp_bits=8)
+
+
+class TestPaperOverheadFormulas:
+    """Sec. 4.1: ≈23% for F-Matrix, ≈0.1% for the vector protocols."""
+
+    def test_fmatrix_overhead_formula(self):
+        scheme = scheme_for_protocol("f-matrix", num_objects=300, timestamp_bits=8)
+        fraction = scheme.overhead_fraction(300, KB)
+        expected = (300 * 8) / (300 * 8 + KB)  # n·TS / (n·TS + OBJ)
+        assert fraction == pytest.approx(expected)
+        assert 0.22 < fraction < 0.24  # "about 23%"
+
+    def test_vector_overhead_formula(self):
+        scheme = scheme_for_protocol("r-matrix", num_objects=300, timestamp_bits=8)
+        fraction = scheme.overhead_fraction(300, KB)
+        expected = 8 / (8 + KB)  # TS / (TS + OBJ)
+        assert fraction == pytest.approx(expected)
+        assert fraction < 0.002  # "about 0.1%"
+
+    def test_overhead_shrinks_with_object_size(self):
+        scheme = scheme_for_protocol("f-matrix", num_objects=300, timestamp_bits=8)
+        assert scheme.overhead_fraction(300, 4 * KB) < scheme.overhead_fraction(300, KB)
+
+    def test_fmatrix_overhead_grows_with_objects(self):
+        scheme_small = scheme_for_protocol("f-matrix", num_objects=100, timestamp_bits=8)
+        scheme_large = scheme_for_protocol("f-matrix", num_objects=500, timestamp_bits=8)
+        assert scheme_large.overhead_fraction(500, KB) > scheme_small.overhead_fraction(100, KB)
+
+    def test_cycle_bits_total(self):
+        scheme = ControlInfoScheme("x", bits_per_slot=8, bits_per_cycle_extra=100)
+        assert scheme.cycle_bits(10, 1000) == 10 * 1000 + 10 * 8 + 100

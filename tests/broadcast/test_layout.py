@@ -1,0 +1,101 @@
+"""Tests for broadcast-disk layouts (repro.broadcast.layout)."""
+
+import pytest
+
+from repro.broadcast.layout import FlatLayout, MultiDiskLayout
+
+
+class TestFlatLayout:
+    def test_cycle_bits(self):
+        layout = FlatLayout(10, 100, control_bits_per_slot=8)
+        assert layout.slot_bits == 108
+        assert layout.cycle_bits == 1080
+
+    def test_preamble_extends_cycle(self):
+        layout = FlatLayout(10, 100, preamble_bits=50)
+        assert layout.cycle_bits == 1050
+        assert layout.slot_end_offset(0) == 150
+
+    def test_cycle_of(self):
+        layout = FlatLayout(10, 100)
+        assert layout.cycle_of(0) == 1
+        assert layout.cycle_of(999) == 1
+        assert layout.cycle_of(1000) == 2
+
+    def test_cycle_start(self):
+        layout = FlatLayout(10, 100)
+        assert layout.cycle_start(1) == 0
+        assert layout.cycle_start(3) == 2000
+
+    def test_next_read_same_cycle(self):
+        layout = FlatLayout(10, 100)
+        hit = layout.next_read(2, 50)
+        assert hit.time == 300  # slot 2 ends at offset 300
+        assert hit.cycle == 1
+
+    def test_next_read_wraps_to_next_cycle(self):
+        layout = FlatLayout(10, 100)
+        hit = layout.next_read(0, 150)  # slot 0 (ends 100) already passed
+        assert hit.time == 1100
+        assert hit.cycle == 2
+
+    def test_next_read_exact_slot_end_counts(self):
+        layout = FlatLayout(10, 100)
+        hit = layout.next_read(0, 100)  # exactly at slot end: readable now
+        assert hit.time == 100 and hit.cycle == 1
+
+    def test_last_object_ends_on_boundary(self):
+        layout = FlatLayout(10, 100)
+        hit = layout.next_read(9, 0)
+        assert hit.time == layout.cycle_bits
+        assert hit.cycle == 1  # the slot belongs to cycle 1
+
+    def test_object_range_checked(self):
+        layout = FlatLayout(3, 10)
+        with pytest.raises(IndexError):
+            layout.next_read(3, 0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FlatLayout(0, 10)
+        with pytest.raises(ValueError):
+            FlatLayout(3, 0)
+
+
+class TestMultiDiskLayout:
+    def test_frequencies_respected(self):
+        layout = MultiDiskLayout([(2, [0]), (1, [1, 2])], object_bits=10)
+        schedule = layout.schedule
+        assert schedule.count(0) == 2
+        assert schedule.count(1) == 1
+        assert schedule.count(2) == 1
+
+    def test_cycle_bits_counts_all_slots(self):
+        layout = MultiDiskLayout([(2, [0]), (1, [1, 2])], object_bits=10)
+        assert layout.cycle_bits == len(layout.schedule) * 10
+
+    def test_hot_object_waits_less_on_average(self):
+        layout = MultiDiskLayout([(4, [0]), (1, [1, 2, 3])], object_bits=10)
+        waits_hot = []
+        waits_cold = []
+        for t in range(0, layout.cycle_bits, 7):
+            waits_hot.append(layout.next_read(0, t).time - t)
+            waits_cold.append(layout.next_read(1, t).time - t)
+        assert sum(waits_hot) / len(waits_hot) < sum(waits_cold) / len(waits_cold)
+
+    def test_objects_must_cover_ids(self):
+        with pytest.raises(ValueError):
+            MultiDiskLayout([(1, [0, 2])], object_bits=10)  # missing 1
+
+    def test_no_duplicate_disks(self):
+        with pytest.raises(ValueError):
+            MultiDiskLayout([(1, [0]), (2, [0])], object_bits=10)
+
+    def test_positive_frequency(self):
+        with pytest.raises(ValueError):
+            MultiDiskLayout([(0, [0])], object_bits=10)
+
+    def test_next_read_wraps(self):
+        layout = MultiDiskLayout([(1, [0, 1])], object_bits=10)
+        hit = layout.next_read(0, layout.cycle_bits - 1)
+        assert hit.cycle == 2

@@ -1,0 +1,78 @@
+"""Property-based tests for broadcast layouts (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.broadcast.layout import FlatLayout, MultiDiskLayout
+
+
+flat_layouts = st.builds(
+    FlatLayout,
+    st.integers(1, 40),              # num_objects
+    st.integers(1, 4096),            # object_bits
+    control_bits_per_slot=st.integers(0, 512),
+    preamble_bits=st.integers(0, 1024),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(flat_layouts, st.integers(0, 10 ** 9), st.data())
+def test_flat_next_read_invariants(layout, time, data):
+    obj = data.draw(st.integers(0, layout.num_objects - 1))
+    hit = layout.next_read(obj, time)
+    # never in the past, never more than one full cycle away
+    assert hit.time >= time
+    assert hit.time - time <= layout.cycle_bits
+    # the slot belongs to the cycle the layout reports
+    assert layout.cycle_start(hit.cycle) < hit.time <= layout.cycle_start(hit.cycle + 1)
+    # reading again from the hit time returns the same slot
+    again = layout.next_read(obj, hit.time)
+    assert again.time == hit.time and again.cycle == hit.cycle
+    # and the slot offset is consistent across cycles
+    later = layout.next_read(obj, hit.time + 1)
+    assert later.time == hit.time + layout.cycle_bits
+    assert later.cycle == hit.cycle + 1
+
+
+@settings(max_examples=120, deadline=None)
+@given(flat_layouts, st.integers(0, 10 ** 9))
+def test_flat_cycle_bookkeeping(layout, time):
+    cycle = layout.cycle_of(time)
+    assert cycle >= 1
+    assert layout.cycle_start(cycle) <= time < layout.cycle_start(cycle + 1)
+
+
+@st.composite
+def multi_disk_layouts(draw):
+    num_hot = draw(st.integers(1, 5))
+    num_cold = draw(st.integers(1, 10))
+    freq = draw(st.integers(2, 6))
+    return MultiDiskLayout(
+        [
+            (freq, list(range(num_hot))),
+            (1, list(range(num_hot, num_hot + num_cold))),
+        ],
+        object_bits=draw(st.integers(1, 1024)),
+        control_bits_per_slot=draw(st.integers(0, 64)),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(multi_disk_layouts(), st.integers(0, 10 ** 8), st.data())
+def test_multi_disk_next_read_invariants(layout, time, data):
+    obj = data.draw(st.integers(0, layout.num_objects - 1))
+    hit = layout.next_read(obj, time)
+    assert hit.time >= time
+    assert hit.time - time <= layout.cycle_bits
+    assert layout.cycle_start(hit.cycle) < hit.time <= layout.cycle_start(hit.cycle + 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(multi_disk_layouts())
+def test_multi_disk_schedule_counts(layout):
+    schedule = layout.schedule
+    counts = {obj: schedule.count(obj) for obj in set(schedule)}
+    # hot objects appear strictly more often than cold ones
+    hot_count = counts[0]
+    cold_count = counts[layout.num_objects - 1]
+    assert hot_count > cold_count
+    assert len(schedule) * layout.slot_bits == layout.cycle_bits

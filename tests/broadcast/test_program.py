@@ -1,0 +1,44 @@
+"""Tests for the broadcast image (repro.broadcast.program)."""
+
+import numpy as np
+
+from repro.broadcast.program import BroadcastCycle, ObjectVersion
+from repro.core.validators import ControlSnapshot
+
+
+def make_cycle(num_objects=3, cycle=4, with_matrix=True):
+    versions = tuple(
+        ObjectVersion(obj, f"v{obj}", f"w{obj}", cycle - 1) for obj in range(num_objects)
+    )
+    snapshot = ControlSnapshot(
+        cycle,
+        matrix=np.arange(num_objects * num_objects).reshape(num_objects, num_objects)
+        if with_matrix
+        else None,
+        vector=None if with_matrix else np.zeros(num_objects, dtype=np.int64),
+    )
+    return BroadcastCycle(cycle, versions, snapshot)
+
+
+class TestBroadcastCycle:
+    def test_version_lookup(self):
+        bc = make_cycle()
+        assert bc.version(1).value == "v1"
+        assert bc.version(1).writer == "w1"
+        assert bc.num_objects == 3
+
+    def test_column_for_matrix_protocols(self):
+        bc = make_cycle()
+        col = bc.column(2)
+        assert list(col) == [2, 5, 8]
+        # the returned column is a copy
+        col[0] = 99
+        assert bc.snapshot.matrix[0, 2] == 2
+
+    def test_column_none_for_vector_protocols(self):
+        bc = make_cycle(with_matrix=False)
+        assert bc.column(0) is None
+
+    def test_version_provenance(self):
+        bc = make_cycle(cycle=7)
+        assert bc.version(0).commit_cycle == 6

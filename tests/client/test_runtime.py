@@ -1,0 +1,126 @@
+"""Tests for client transaction runtimes (repro.client.runtime)."""
+
+import pytest
+
+from repro.client.runtime import (
+    ClientUpdateTransactionRuntime,
+    ReadOnlyTransactionRuntime,
+    TransactionAborted,
+)
+from repro.core.validators import make_validator
+from repro.server.server import BroadcastServer
+
+
+@pytest.fixture
+def server():
+    s = BroadcastServer(3, "f-matrix")
+    return s
+
+
+class TestReadOnlyRuntime:
+    def test_happy_path(self, server):
+        bc = server.begin_cycle(1)
+        txn = ReadOnlyTransactionRuntime("t", [0, 2], make_validator("f-matrix"))
+        assert txn.next_object == 0
+        assert txn.deliver(bc).ok
+        assert txn.next_object == 2
+        assert txn.deliver(bc).ok
+        assert txn.is_done
+        assert txn.commit() == ((0, 1), (2, 1))
+        assert txn.values == {0: 0, 2: 0}
+
+    def test_needs_objects(self):
+        with pytest.raises(ValueError):
+            ReadOnlyTransactionRuntime("t", [], make_validator("f-matrix"))
+
+    def test_abort_and_restart(self, server):
+        bc1 = server.begin_cycle(1)
+        txn = ReadOnlyTransactionRuntime("t", [0, 1], make_validator("f-matrix"))
+        txn.deliver(bc1)
+        server.commit_update("u1", [], {0: "x"}, cycle=1)
+        server.commit_update("u2", [0], {1: "y"}, cycle=1)
+        bc2 = server.begin_cycle(2)
+        outcome = txn.deliver(bc2)
+        assert not outcome.ok and txn.aborted
+        assert txn.next_object is None
+        with pytest.raises(TransactionAborted):
+            txn.commit()
+        txn.restart()
+        assert txn.attempt == 1
+        assert not txn.aborted and txn.next_object == 0
+        # fresh attempt succeeds within one cycle
+        assert txn.deliver(bc2).ok and txn.deliver(bc2).ok
+        assert txn.is_done
+
+    def test_deliver_or_raise(self, server):
+        bc1 = server.begin_cycle(1)
+        txn = ReadOnlyTransactionRuntime("t", [0, 1], make_validator("f-matrix"))
+        txn.deliver_or_raise(bc1)
+        server.commit_update("u1", [], {0: "x"}, cycle=1)
+        server.commit_update("u2", [0], {1: "y"}, cycle=1)
+        bc2 = server.begin_cycle(2)
+        with pytest.raises(TransactionAborted):
+            txn.deliver_or_raise(bc2)
+
+    def test_no_pending_read_errors(self, server):
+        bc = server.begin_cycle(1)
+        txn = ReadOnlyTransactionRuntime("t", [0], make_validator("f-matrix"))
+        txn.deliver(bc)
+        with pytest.raises(RuntimeError):
+            txn.deliver(bc)
+
+    def test_commit_requires_all_reads(self, server):
+        server.begin_cycle(1)
+        txn = ReadOnlyTransactionRuntime("t", [0, 1], make_validator("f-matrix"))
+        with pytest.raises(RuntimeError):
+            txn.commit()
+
+    def test_versions_carry_provenance(self, server):
+        server.commit_update("writer", [], {0: 42}, cycle=0)
+        bc = server.begin_cycle(1)
+        txn = ReadOnlyTransactionRuntime("t", [0], make_validator("f-matrix"))
+        txn.deliver(bc)
+        (version,) = txn.versions
+        assert version.writer == "writer" and version.value == 42
+
+
+class TestClientUpdateRuntime:
+    def test_submission_roundtrip(self, server):
+        bc = server.begin_cycle(1)
+        txn = ClientUpdateTransactionRuntime("u", [0, 1], make_validator("f-matrix"))
+        txn.deliver(bc)
+        txn.deliver(bc)
+        txn.write(0, "newval")
+        sub = txn.submission()
+        assert sub.txn == "u"
+        assert sub.reads == ((0, 1), (1, 1))
+        assert sub.writes == ((0, "newval"),)
+        outcome = server.submit_client_update(sub)
+        assert outcome.committed
+        assert server.database.committed(0).value == "newval"
+
+    def test_submission_requires_reads_done(self, server):
+        server.begin_cycle(1)
+        txn = ClientUpdateTransactionRuntime("u", [0], make_validator("f-matrix"))
+        with pytest.raises(RuntimeError):
+            txn.submission()
+
+    def test_write_after_abort_raises(self, server):
+        bc1 = server.begin_cycle(1)
+        txn = ClientUpdateTransactionRuntime("u", [0, 1], make_validator("f-matrix"))
+        txn.deliver(bc1)
+        server.commit_update("w1", [], {0: "x"}, cycle=1)
+        server.commit_update("w2", [0], {1: "y"}, cycle=1)
+        bc2 = server.begin_cycle(2)
+        txn.deliver(bc2)
+        assert txn.aborted
+        with pytest.raises(TransactionAborted):
+            txn.write(0, "v")
+
+    def test_restart_discards_local_writes(self, server):
+        bc = server.begin_cycle(1)
+        txn = ClientUpdateTransactionRuntime("u", [0], make_validator("f-matrix"))
+        txn.deliver(bc)
+        txn.write(0, "local")
+        txn.restart()
+        assert txn.writes == {}

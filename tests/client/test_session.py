@@ -1,0 +1,153 @@
+"""Tests for the high-level client session API (repro.client.session)."""
+
+import pytest
+
+from repro.client.cache import QuasiCache
+from repro.client.session import ClientSession, ConsistencyAbort
+from repro.core.validators import make_validator
+from repro.server.server import BroadcastServer
+
+
+@pytest.fixture
+def server():
+    return BroadcastServer(4, "f-matrix")
+
+
+def session_for(server, cycle=1, protocol="f-matrix", cache=None):
+    session = ClientSession(make_validator(protocol), cache=cache)
+    session.observe(server.begin_cycle(cycle))
+    return session
+
+
+class TestReadOnly:
+    def test_commit_on_clean_exit(self, server):
+        session = session_for(server)
+        with session.read_only("t") as txn:
+            assert txn.read(0) == 0
+            assert txn.read(1) == 0
+        assert txn.committed and not txn.aborted
+
+    def test_repeat_read_returns_same_value(self, server):
+        session = session_for(server)
+        with session.read_only() as txn:
+            first = txn.read(2)
+            assert txn.read(2) == first
+        assert len(txn.reads) == 1
+
+    def test_exception_marks_aborted(self, server):
+        session = session_for(server)
+        bad = session.read_only("bad")
+        with pytest.raises(ValueError):
+            with bad:
+                bad.read(0)
+                raise ValueError("application error")
+        assert bad.aborted and not bad.committed
+
+    def test_write_rejected_on_read_only(self, server):
+        session = session_for(server)
+        with session.read_only() as txn:
+            txn.read(0)
+            with pytest.raises(RuntimeError):
+                txn.write(0, 1)
+
+    def test_finished_transaction_is_closed(self, server):
+        session = session_for(server)
+        with session.read_only() as txn:
+            txn.read(0)
+        with pytest.raises(RuntimeError):
+            txn.read(1)
+
+    def test_requires_observed_broadcast(self):
+        session = ClientSession(make_validator("f-matrix"))
+        with pytest.raises(RuntimeError):
+            with session.read_only() as txn:
+                txn.read(0)
+
+
+class TestConsistencyAbortScenario:
+    def test_mixed_generations_rejected(self, server):
+        """Read object 0 in cycle 1, then its dependant in cycle 2."""
+        session = session_for(server)  # cycle 1
+        txn = session.read_only("t")
+        txn._validator.begin()
+        assert txn.read(0) == 0
+        server.commit_update("u1", [], {0: "x"}, cycle=1)
+        server.commit_update("u2", [0], {1: "y"}, cycle=1)
+        session.observe(server.begin_cycle(2))
+        with pytest.raises(ConsistencyAbort):
+            txn.read(1)
+
+
+class TestUpdate:
+    def test_submission_roundtrip(self, server):
+        session = session_for(server)
+        with session.update("bid") as txn:
+            current = txn.read(0)
+            txn.write(0, (current or 0) + 5)
+        outcome = server.submit_client_update(txn.submission())
+        assert outcome.committed
+        assert server.database.committed(0).value == 5
+
+    def test_read_your_writes(self, server):
+        session = session_for(server)
+        with session.update() as txn:
+            txn.write(3, "local")
+            assert txn.read(3) == "local"
+
+    def test_read_only_has_no_submission(self, server):
+        session = session_for(server)
+        with session.read_only() as txn:
+            txn.read(0)
+        with pytest.raises(RuntimeError):
+            txn.submission()
+
+
+class TestRetries:
+    def test_retry_until_fresh_cycle(self, server):
+        session = session_for(server)  # cycle 1
+
+        state = {"cycle": 1, "poisoned": False}
+
+        def body(txn):
+            value = txn.read(0)
+            if not state["poisoned"]:
+                # poison mid-transaction: commit a dependency chain and
+                # move the session to the next cycle before the 2nd read
+                server.commit_update("u1", [], {0: "x"}, cycle=state["cycle"])
+                server.commit_update("u2", [0], {1: "y"}, cycle=state["cycle"])
+                state["cycle"] += 1
+                session.observe(server.begin_cycle(state["cycle"]))
+                state["poisoned"] = True
+            return (value, txn.read(1))
+
+        result = session.run_with_retries(body)
+        assert session.restarts == 1
+        assert result == ("x", "y")  # the retry reads the new generation
+
+    def test_gives_up_eventually(self, server):
+        session = session_for(server)
+
+        def body(txn):
+            raise ConsistencyAbort("t", 0)
+
+        with pytest.raises(RuntimeError):
+            session.run_with_retries(body, max_attempts=3)
+        assert session.restarts == 3
+
+
+class TestWithCache:
+    def test_prefetched_read_comes_from_cache(self, server):
+        cache = QuasiCache(1e12)
+        session = session_for(server, cache=cache)
+        session.prefetch(2)
+        server.commit_update("u", [], {2: "new"}, cycle=1)
+        session.observe(server.begin_cycle(2))
+        with session.read_only() as txn:
+            # served from the cycle-1 cache entry, not the new broadcast
+            assert txn.read(2) == 0
+        assert cache.hits == 1
+
+    def test_prefetch_requires_cache(self, server):
+        session = session_for(server)
+        with pytest.raises(RuntimeError):
+            session.prefetch(0)

@@ -1,0 +1,76 @@
+"""Tests for the APPROX algorithm (repro.core.approx)."""
+
+from repro.core.approx import approx_accepts, approx_report
+from repro.core.model import parse_history
+
+
+EXAMPLE_1 = "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+EXAMPLE_2 = "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] c3 w4[Sun] c4 r1[Sun] w1[DEC] c1"
+
+
+class TestPaperExamples:
+    def test_example_1_accepted(self):
+        """Both read-only stock readers commit (Sec. 2.3 discussion)."""
+        assert approx_accepts(parse_history(EXAMPLE_1))
+
+    def test_example_2_accepted(self):
+        """The update transaction t1 commits; t3 stays consistent."""
+        assert approx_accepts(parse_history(EXAMPLE_2))
+
+    def test_example_1_report_details(self):
+        report = approx_report(parse_history(EXAMPLE_1))
+        assert report.accepted
+        assert report.reader_verdicts == {"t1": True, "t3": True}
+        assert set(report.update_serialization_order) == {"t2", "t4"}
+
+
+class TestRejections:
+    def test_nonserializable_updates_rejected(self):
+        h = parse_history("r1[x] r2[x] w1[x] w2[x] c1 c2")
+        report = approx_report(h)
+        assert not report.accepted
+        assert report.update_serialization_order is None
+        assert report.update_cycle is not None
+
+    def test_inconsistent_reader_rejected(self):
+        h = parse_history("r3[x] w1[x] c1 r2[x] w2[y] c2 r3[y] c3")
+        report = approx_report(h)
+        assert not report.accepted
+        assert report.reader_verdicts["t3"] is False
+        assert "t3" in report.rejected_readers
+        assert report.reader_cycles["t3"]
+
+    def test_uncommitted_reader_ignored(self):
+        # same reads but t3 never commits: nothing to reject
+        h = parse_history("r3[x] w1[x] c1 r2[x] w2[y] c2 r3[y]")
+        assert approx_accepts(h)
+
+
+class TestProperInclusion:
+    def test_theorem_6_witness_legal_but_not_approx(self):
+        """The Appendix C history: legal yet rejected by APPROX."""
+        from repro.core.legality import is_legal
+
+        h = parse_history(
+            "r1[ob1] r2[ob2] w1[ob3] w2[ob3] w2[ob4] w1[ob4] "
+            "w3[ob3] w3[ob4] c1 c2 c3"
+        )
+        assert is_legal(h)
+        assert not approx_accepts(h)
+
+    def test_conflict_serializable_always_accepted(self):
+        h = parse_history("w1[x] c1 r2[x] w2[y] c2 r3[y] c3")
+        assert approx_accepts(h)
+
+
+class TestReadersSeeDifferentOrders:
+    def test_two_readers_opposite_orders_both_accepted(self):
+        # t5 sees t2 before its IBM read; t1 sees t4 before its Sun read:
+        # their serialization orders of {t2, t4} differ — still accepted.
+        h = parse_history(
+            "r1[IBM] w2[IBM] c2 r5[IBM] w4[Sun] c4 r5[Sun] r1[Sun] c1 c5"
+        )
+        report = approx_report(h)
+        # t5 reads IBM from t2 and Sun from t4; t1 reads IBM from t0 and
+        # Sun from t4 — different serial views, all acyclic
+        assert report.accepted

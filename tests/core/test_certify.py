@@ -1,0 +1,107 @@
+"""Tests for serialization certificates (repro.core.certify)."""
+
+import pytest
+
+from repro.core.certify import (
+    CertificationError,
+    certify_history,
+    reader_certificate,
+    update_certificate,
+    verify_reader_certificate,
+    verify_update_certificate,
+)
+from repro.core.model import parse_history
+
+EXAMPLE_1 = "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+
+
+class TestUpdateCertificate:
+    def test_witness_verifies(self):
+        h = parse_history("w1[x] c1 r2[x] w2[y] c2 r3[y] w3[z] c3")
+        order = update_certificate(h)
+        assert verify_update_certificate(h, order)
+
+    def test_wrong_order_rejected_by_replay(self):
+        h = parse_history("w1[x] c1 r2[x] w2[y] c2")
+        assert verify_update_certificate(h, ("t1", "t2"))
+        assert not verify_update_certificate(h, ("t2", "t1"))
+
+    def test_wrong_membership_rejected(self):
+        h = parse_history("w1[x] c1")
+        assert not verify_update_certificate(h, ("t1", "t9"))
+
+    def test_nonserializable_has_no_certificate(self):
+        h = parse_history("r1[x] r2[x] w1[x] w2[x] c1 c2")
+        with pytest.raises(CertificationError):
+            update_certificate(h)
+
+    def test_final_writes_checked(self):
+        # both orders reproduce reads-from (no reads), but only one gets
+        # the final write of x right
+        h = parse_history("w1[x] c1 w2[x] c2")
+        assert verify_update_certificate(h, ("t1", "t2"))
+        assert not verify_update_certificate(h, ("t2", "t1"))
+
+
+class TestReaderCertificate:
+    def test_example_1_witnesses(self):
+        h = parse_history(EXAMPLE_1)
+        for reader in ("t1", "t3"):
+            order = reader_certificate(h, reader)
+            assert order[-1] == reader or reader in order
+            assert verify_reader_certificate(h, reader, order)
+
+    def test_readers_see_different_orders(self):
+        """The heart of update consistency: each reader's witness is a
+        different serial order of the updates."""
+        h = parse_history(EXAMPLE_1)
+        cert = certify_history(h)
+        # t1 depends on t4 only; t3 on t2 only — disjoint live sets
+        assert set(cert.reader_orders["t1"]) == {"t1", "t4"}
+        assert set(cert.reader_orders["t3"]) == {"t3", "t2"}
+
+    def test_cyclic_reader_has_no_witness(self):
+        h = parse_history("r3[x] w1[x] c1 r2[x] w2[y] c2 r3[y] c3")
+        with pytest.raises(CertificationError):
+            reader_certificate(h, "t3")
+        with pytest.raises(CertificationError):
+            certify_history(h)
+
+    def test_bad_witness_rejected(self):
+        h = parse_history("w1[x] c1 r2[x] c2")
+        assert verify_reader_certificate(h, "t2", ("t1", "t2"))
+        assert not verify_reader_certificate(h, "t2", ("t2", "t1"))
+        assert not verify_reader_certificate(h, "t2", ("t1",))
+
+
+class TestCertifyHistory:
+    def test_bundles_everything(self):
+        h = parse_history(EXAMPLE_1)
+        cert = certify_history(h)
+        assert verify_update_certificate(h, cert.update_order)
+        for reader, order in cert.reader_orders.items():
+            assert verify_reader_certificate(h, reader, order)
+
+    def test_random_twopl_histories_certifiable(self):
+        """Strict-2PL executions are serializable, so they must always
+        certify — and the replay checker must agree."""
+        import random
+
+        from repro.server.database import Database
+        from repro.server.twopl import TransactionProgram, TwoPLExecutor
+
+        for seed in range(6):
+            rng = random.Random(seed)
+            programs = [
+                TransactionProgram(
+                    f"t{t}",
+                    tuple(
+                        ("r" if rng.random() < 0.5 else "w", obj)
+                        for obj in rng.sample(range(4), rng.randint(1, 3))
+                    ),
+                )
+                for t in range(4)
+            ]
+            result = TwoPLExecutor(Database(4)).run(programs, rng=rng)
+            cert = certify_history(result.history)
+            assert verify_update_certificate(result.history, cert.update_order)

@@ -1,0 +1,132 @@
+"""A curated corpus of histories with known classifications.
+
+Each entry pins a history's verdict under *all four* criteria of the
+Figure 1 lattice at once (conflict serializable, view serializable —
+of the update sub-history — APPROX, legal).  The corpus doubles as a
+regression net for the whole theory layer and as executable
+documentation of the criteria's boundaries.
+"""
+
+import pytest
+
+from repro.core.approx import approx_accepts
+from repro.core.legality import is_legal
+from repro.core.model import parse_history
+from repro.core.serialgraph import is_conflict_serializable
+from repro.core.viewser import is_view_serializable
+
+# (name, history, csr(all), vsr(updates), approx, legal)
+CORPUS = [
+    (
+        "empty-reader",
+        "r1[x] c1",
+        True, True, True, True,
+    ),
+    (
+        "serial-chain",
+        "w1[x] c1 r2[x] w2[y] c2 r3[y] c3",
+        True, True, True, True,
+    ),
+    (
+        "paper-example-1",
+        "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3",
+        False, True, True, True,
+    ),
+    (
+        "paper-example-2",
+        "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] c3 w4[Sun] c4 r1[Sun] w1[DEC] c1",
+        False, True, True, True,
+    ),
+    (
+        "lost-update",
+        "r1[x] r2[x] w1[x] w2[x] c1 c2",
+        False, False, False, False,
+    ),
+    (
+        "inconsistent-reader",
+        "r3[x] w1[x] c1 r2[x] w2[y] c2 r3[y] c3",
+        False, True, False, False,
+    ),
+    (
+        "theorem-6-gap",  # legal but APPROX-rejected (Appendix C)
+        "r1[ob1] r2[ob2] w1[ob3] w2[ob3] w2[ob4] w1[ob4] w3[ob3] w3[ob4] c1 c2 c3",
+        False, True, False, True,
+    ),
+    (
+        "blind-write-vsr",  # view- but not conflict-serializable updates
+        "r1[x] w2[x] w2[y] c2 w1[x] w1[y] w3[x] w3[y] c3 c1",
+        False, True, False, True,
+    ),
+    (
+        "write-skew-updates",
+        "r1[x] r2[y] w1[y] w2[x] c1 c2",
+        False, False, False, False,
+    ),
+    (
+        "reader-of-aborted-free",
+        "w1[x] a1 r2[x] c2",
+        True, True, True, True,
+    ),
+    (
+        "two-readers-disjoint-orders",
+        # serializable overall (t4;t1;t2;t5) even though the readers
+        # observe different cuts — a reminder CSR is about existence
+        "r1[IBM] w2[IBM] c2 r5[IBM] w4[Sun] c4 r5[Sun] r1[Sun] c1 c5",
+        True, True, True, True,
+    ),
+    (
+        "uncommitted-ignored",
+        "r1[x] w2[x] c1",
+        True, True, True, True,
+    ),
+    (
+        "ww-order-only",
+        "w1[x] w2[x] w1[y] w2[y] c1 c2",
+        True, True, True, True,
+    ),
+    (
+        "ww-crossing",
+        "w1[x] w2[x] w2[y] w1[y] c1 c2",
+        False, False, False, False,
+    ),
+    (
+        "reader-bridges-two-updaters",
+        "w1[x] c1 w2[y] c2 r3[x] r3[y] c3",
+        True, True, True, True,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,text,csr,vsr,approx,legal", CORPUS, ids=[c[0] for c in CORPUS]
+)
+def test_corpus_classification(name, text, csr, vsr, approx, legal):
+    history = parse_history(text)
+    committed = history.committed_projection()
+    assert is_conflict_serializable(committed) == csr, "conflict serializability"
+    assert (
+        is_view_serializable(committed.update_subhistory()) == vsr
+    ), "view serializability of updates"
+    assert approx_accepts(history) == approx, "APPROX"
+    assert is_legal(history) == legal, "legality"
+
+
+def test_corpus_respects_lattice():
+    """Internal consistency of the corpus itself."""
+    for name, _text, csr, vsr, approx, legal in CORPUS:
+        if csr:
+            assert approx and vsr, name
+        if approx:
+            assert legal, name
+        if legal:
+            assert vsr, name
+
+
+def test_corpus_covers_every_lattice_cell():
+    """The corpus witnesses each achievable combination."""
+    combos = {(csr, vsr, approx, legal) for _n, _t, csr, vsr, approx, legal in CORPUS}
+    assert (True, True, True, True) in combos          # fully serializable
+    assert (False, True, True, True) in combos         # update consistent only
+    assert (False, True, False, True) in combos        # the Theorem 6 gap
+    assert (False, True, False, False) in combos       # bad reader
+    assert (False, False, False, False) in combos      # bad updates

@@ -1,0 +1,64 @@
+"""Tests for cycle/timestamp arithmetic (repro.core.cycles)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cycles import ModuloCycles, UnboundedCycles
+
+
+class TestUnbounded:
+    def test_encode_identity(self):
+        arith = UnboundedCycles()
+        assert arith.encode(12345) == 12345
+
+    def test_less_is_plain(self):
+        arith = UnboundedCycles()
+        assert arith.less(3, 7, reference=100)
+        assert not arith.less(7, 3, reference=100)
+
+    def test_encode_array_copies(self):
+        arith = UnboundedCycles()
+        src = np.array([1, 2, 3])
+        out = arith.encode_array(src)
+        out[0] = 99
+        assert src[0] == 1
+
+
+class TestModulo:
+    def test_window(self):
+        assert ModuloCycles(8).window == 256
+        assert ModuloCycles(4).window == 16
+
+    def test_encode_wraps(self):
+        arith = ModuloCycles(4)
+        assert arith.encode(16) == 0
+        assert arith.encode(17) == 1
+
+    def test_encode_array_wraps(self):
+        arith = ModuloCycles(4)
+        out = arith.encode_array(np.array([15, 16, 33]))
+        assert list(out) == [15, 0, 1]
+
+    def test_agrees_with_unbounded_within_window(self):
+        arith = ModuloCycles(4)  # window 16
+        plain = UnboundedCycles()
+        reference = 100
+        for a in range(reference - 15, reference + 1):
+            for b in range(reference - 15, reference + 1):
+                assert arith.less(
+                    arith.encode(a), arith.encode(b), reference=reference
+                ) == plain.less(a, b, reference=reference), (a, b)
+
+    def test_wraparound_comparison(self):
+        # absolute cycles 250 and 258 with window 256: encoded 250 and 2
+        arith = ModuloCycles(8)
+        now = 258
+        assert arith.less(arith.encode(250), arith.encode(258), reference=now)
+        assert not arith.less(arith.encode(258), arith.encode(250), reference=now)
+
+    def test_anchor_is_most_recent(self):
+        arith = ModuloCycles(4)
+        # encoded 3 anchored at reference 18 -> absolute 3? no: 3 <= 18 with
+        # residue 3 mod 16 -> candidates 3, 19(>18) -> 3... most recent <= 18
+        assert arith._anchor(3, 18) == 3
+        assert arith._anchor(2, 18) == 18

@@ -1,0 +1,47 @@
+"""Tests for the history explainer (repro.core.explain)."""
+
+from repro.core.explain import explain_history
+from repro.core.model import parse_history
+
+
+class TestExplainHistory:
+    def test_example_1_narrative(self):
+        h = parse_history(
+            "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+        )
+        text = explain_history(h)
+        assert "conflict serializable: NO" in text
+        assert "APPROX: accepted" in text
+        assert "legal (update consistent): yes" in text
+        assert "reader t1: consistent" in text
+        assert "reader t3: consistent" in text
+
+    def test_serializable_history(self):
+        text = explain_history(parse_history("w1[x] c1 r2[x] c2"))
+        assert "conflict serializable: yes" in text
+        assert "order t1 ; t2" in text
+
+    def test_inconsistent_reader_called_out(self):
+        h = parse_history("r3[x] w1[x] c1 r2[x] w2[y] c2 r3[y] c3")
+        text = explain_history(h)
+        assert "reader t3: INCONSISTENT" in text
+        assert "APPROX: rejected" in text
+
+    def test_nonserializable_updates(self):
+        h = parse_history("r1[x] r2[x] w1[x] w2[x] c1 c2")
+        text = explain_history(h)
+        assert "update sub-history itself is not" in text.replace("\n", " ") or \
+            "not conflict serializable" in text.replace("\n", " ")
+
+    def test_theorem6_gap_noted(self):
+        h = parse_history(
+            "r1[ob1] r2[ob2] w1[ob3] w2[ob3] w2[ob4] w1[ob4] "
+            "w3[ob3] w3[ob4] c1 c2 c3"
+        )
+        text = explain_history(h)
+        assert "Theorem 6" in text
+
+    def test_exact_false_skips_legality(self):
+        h = parse_history("w1[x] c1 r2[x] c2")
+        text = explain_history(h, exact=False)
+        assert "legal" not in text

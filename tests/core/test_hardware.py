@@ -1,0 +1,100 @@
+"""Tests for the hardware-latch validators (repro.core.hardware)."""
+
+import random
+
+import pytest
+
+from repro.core.group_matrix import LastWriteVector
+from repro.core.hardware import HardwareDatacycleValidator, HardwareRMatrixValidator
+from repro.core.validators import ControlSnapshot, DatacycleValidator, RMatrixValidator
+
+
+def snap(vec: LastWriteVector, cycle: int) -> ControlSnapshot:
+    return ControlSnapshot(cycle, vector=vec.snapshot())
+
+
+class TestLatchSemantics:
+    def test_latch_sets_on_overwrite(self):
+        vec = LastWriteVector(2)
+        hw = HardwareDatacycleValidator()
+        assert hw.validate_read(0, snap(vec, 1))
+        vec.apply_commit(1, [], [0])
+        assert not hw.validate_read(1, snap(vec, 2))
+        assert hw.latch
+
+    def test_latch_is_sticky(self):
+        vec = LastWriteVector(2)
+        hw = HardwareDatacycleValidator()
+        hw.validate_read(0, snap(vec, 1))
+        vec.apply_commit(1, [], [0])
+        hw.observe_cycle(snap(vec, 2))
+        assert hw.latch
+        # even cycles later with no new writes, the latch stays set
+        assert not hw.validate_read(1, snap(vec, 9))
+
+    def test_begin_clears(self):
+        vec = LastWriteVector(1)
+        hw = HardwareDatacycleValidator()
+        hw.validate_read(0, snap(vec, 1))
+        vec.apply_commit(1, [], [0])
+        hw.observe_cycle(snap(vec, 2))
+        hw.begin()
+        assert not hw.latch and hw.first_read_cycle is None
+        assert hw.validate_read(0, snap(vec, 3))
+
+    def test_no_time_travel(self):
+        vec = LastWriteVector(1)
+        hw = HardwareDatacycleValidator()
+        hw.observe_cycle(snap(vec, 5))
+        with pytest.raises(ValueError):
+            hw.observe_cycle(snap(vec, 4))
+
+    def test_rmatrix_latch_survival(self):
+        vec = LastWriteVector(2)
+        hw = HardwareRMatrixValidator()
+        assert hw.validate_read(0, snap(vec, 1))
+        vec.apply_commit(1, [], [0])  # sets the latch at the next read
+        # object 1 unchanged since cycle 1: read survives the latch
+        assert hw.validate_read(1, snap(vec, 2))
+        assert hw.latch
+
+
+class TestEquivalenceWithListBased:
+    """The latch validators accept exactly the list-based schedules."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_schedules(self, seed):
+        rng = random.Random(seed)
+        n = 4
+        vec = LastWriteVector(n)
+        pairs = [
+            (DatacycleValidator(), HardwareDatacycleValidator()),
+            (RMatrixValidator(), HardwareRMatrixValidator()),
+        ]
+        for soft, _hw in pairs:
+            soft.begin()
+        cycle = 1
+        for _step in range(40):
+            action = rng.random()
+            if action < 0.4:
+                objs = rng.sample(range(n), rng.randint(1, n))
+                split = rng.randint(0, len(objs) - 1)
+                vec.apply_commit(cycle, objs[:split], objs[split:])
+            elif action < 0.5:
+                for soft, hw in pairs:
+                    soft.begin()
+                    hw.begin()
+            else:
+                obj = rng.randrange(n)
+                snapshot = snap(vec, cycle)
+                for soft, hw in pairs:
+                    ok_soft = soft.validate_read(obj, snapshot)
+                    ok_hw = hw.validate_read(obj, snapshot)
+                    assert ok_soft == ok_hw, (
+                        f"{type(soft).__name__} vs {type(hw).__name__} "
+                        f"diverged at step {_step} (seed {seed})"
+                    )
+                    if not ok_soft:
+                        soft.begin()
+                        hw.begin()
+            cycle += rng.randint(0, 2)

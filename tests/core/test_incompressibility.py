@@ -1,0 +1,110 @@
+"""Tests for the Theorem 8 construction (repro.core.incompressibility)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.incompressibility import (
+    history_for_spec,
+    quadrant_size,
+    realize_spec,
+    twin,
+    validate_spec,
+    worst_case_bits,
+)
+
+
+class TestHelpers:
+    def test_quadrant_size(self):
+        assert quadrant_size(7) == 3
+        assert quadrant_size(301) == 150
+
+    def test_quadrant_requires_odd(self):
+        with pytest.raises(ValueError):
+            quadrant_size(6)
+        with pytest.raises(ValueError):
+            quadrant_size(1)
+
+    def test_twin_is_involution(self):
+        n = 9
+        for obj in range(quadrant_size(n)):
+            assert twin(twin(obj, n), n) == obj
+            assert twin(obj, n) >= quadrant_size(n)
+
+    def test_validate_spec_bounds(self):
+        with pytest.raises(ValueError):
+            validate_spec({(0, 5): 1}, 7, 10)  # outside quadrant
+        with pytest.raises(ValueError):
+            validate_spec({(1, 1): 1}, 7, 10)  # diagonal fixed
+        with pytest.raises(ValueError):
+            validate_spec({(0, 1): 10}, 7, 10)  # >= max_cycle
+
+
+class TestConstruction:
+    def test_small_explicit_spec(self):
+        # n=7, quadrant {0,1,2}: pin a few dependencies
+        spec = {(0, 1): 3, (2, 1): 5, (1, 0): 2}
+        c = realize_spec(spec, 7, max_cycle=9)
+        assert c[0, 1] == 3
+        assert c[2, 1] == 5
+        assert c[1, 0] == 2
+        # unspecified off-diagonal quadrant entries stay zero
+        assert c[0, 2] == 0 and c[1, 2] == 0 and c[2, 0] == 0
+        # diagonals realised at the final cycle
+        for j in range(3):
+            assert c[j, j] == 9
+
+    def test_zero_entries_mean_no_transaction(self):
+        spec = {(0, 1): 0}
+        commits = history_for_spec(spec, 7, 5)
+        # only the three per-column finalisers
+        assert [c.tid for c in commits] == ["d0", "d1", "d2"]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_specs_realised_exactly(self, seed):
+        """The counting argument: arbitrary quadrant contents are
+        realisable — every specified entry must come out exactly."""
+        rng = random.Random(seed)
+        n = rng.choice([7, 9, 11])
+        m = quadrant_size(n)
+        max_cycle = rng.randint(4, 12)
+        spec = {}
+        for i in range(m):
+            for j in range(m):
+                if i != j and rng.random() < 0.7:
+                    spec[(i, j)] = rng.randint(0, max_cycle - 1)
+        c = realize_spec(spec, n, max_cycle)
+        for (i, j), cycle in spec.items():
+            assert c[i, j] == cycle, f"entry ({i},{j}): got {c[i, j]}, want {cycle}"
+        for i in range(m):
+            for j in range(m):
+                if i != j and (i, j) not in spec:
+                    assert c[i, j] == 0
+                if i == j:
+                    assert c[j, j] == max_cycle
+
+    def test_commits_sorted_by_cycle(self):
+        spec = {(0, 1): 7, (1, 0): 2, (2, 0): 4}
+        commits = history_for_spec(spec, 7, 9)
+        cycles = [c.cycle for c in commits]
+        assert cycles == sorted(cycles)
+
+
+class TestLowerBound:
+    def test_matches_theorem_formula(self):
+        n, mc = 301, 256
+        expected = (n * n - 4 * n + 3) / 4 * math.log2(mc)
+        assert worst_case_bits(n, mc) == pytest.approx(expected)
+
+    def test_quadratic_growth(self):
+        assert worst_case_bits(601, 256) > 3.5 * worst_case_bits(301, 256)
+
+    def test_sanity_vs_dense_size(self):
+        # the lower bound is within the dense transmission n^2 * log(mc)
+        n, mc = 301, 256
+        assert worst_case_bits(n, mc) < n * n * math.log2(mc)
+
+    def test_degenerate(self):
+        with pytest.raises(ValueError):
+            worst_case_bits(7, 1)

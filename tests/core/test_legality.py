@@ -1,0 +1,83 @@
+"""Tests for update-consistency legality (repro.core.legality)."""
+
+from repro.core.approx import approx_accepts
+from repro.core.legality import (
+    criteria_summary,
+    is_legal,
+    is_prefix_closed_legal,
+    legality_report,
+)
+from repro.core.model import parse_history
+
+
+EXAMPLE_1 = "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+EXAMPLE_2 = "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] c3 w4[Sun] c4 r1[Sun] w1[DEC] c1"
+
+
+class TestLegality:
+    def test_paper_examples_legal(self):
+        assert is_legal(parse_history(EXAMPLE_1))
+        assert is_legal(parse_history(EXAMPLE_2))
+
+    def test_nonserializable_updates_illegal(self):
+        h = parse_history("r1[x] r2[x] w1[x] w2[x] c1 c2")
+        report = legality_report(h)
+        assert not report.legal
+        assert not report.update_view_serializable
+
+    def test_cyclic_reader_polygraph_illegal(self):
+        h = parse_history("r3[x] w1[x] c1 r2[x] w2[y] c2 r3[y] c3")
+        report = legality_report(h)
+        assert not report.legal
+        assert report.update_view_serializable
+        assert report.rejected_readers == ("t3",)
+
+    def test_empty_history_legal(self):
+        assert is_legal(parse_history("r1[x] c1"))
+
+
+class TestCriteriaLattice:
+    """The Figure 1 partial order on curated witnesses."""
+
+    def test_conflict_serializable_point(self):
+        summary = criteria_summary(parse_history("w1[x] c1 r2[x] c2"))
+        assert summary == {
+            "conflict_serializable": True,
+            "view_serializable": True,
+            "approx": True,
+            "legal": True,
+        }
+
+    def test_update_consistent_not_serializable(self):
+        summary = criteria_summary(parse_history(EXAMPLE_1))
+        assert not summary["conflict_serializable"]
+        assert not summary["view_serializable"]
+        assert summary["approx"] and summary["legal"]
+
+    def test_legal_not_approx(self):
+        h = parse_history(
+            "r1[ob1] r2[ob2] w1[ob3] w2[ob3] w2[ob4] w1[ob4] "
+            "w3[ob3] w3[ob4] c1 c2 c3"
+        )
+        summary = criteria_summary(h)
+        assert summary["legal"] and not summary["approx"]
+
+    def test_nothing_holds(self):
+        summary = criteria_summary(
+            parse_history("r1[x] r2[x] w1[x] w2[x] c1 c2")
+        )
+        assert not any(summary.values())
+
+
+class TestPrefixClosure:
+    def test_paper_example_1_prefix_closed(self):
+        assert is_prefix_closed_legal(parse_history(EXAMPLE_1))
+
+    def test_illegal_history_not_prefix_closed(self):
+        h = parse_history("r1[x] r2[x] w1[x] w2[x] c1 c2")
+        assert not is_prefix_closed_legal(h)
+
+    def test_prefixes_judged_on_committed_projection(self):
+        # mid-transaction prefixes are fine: uncommitted ops don't count
+        h = parse_history("w1[x] r2[x] c1 c2")
+        assert is_prefix_closed_legal(h)

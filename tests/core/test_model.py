@@ -1,0 +1,173 @@
+"""Tests for the history/transaction model (repro.core.model)."""
+
+import pytest
+
+from repro.core.model import (
+    History,
+    HistoryError,
+    OpKind,
+    Operation,
+    T0,
+    abort,
+    commit,
+    parse_history,
+    read,
+    write,
+)
+
+
+class TestOperation:
+    def test_read_requires_object(self):
+        with pytest.raises(HistoryError):
+            Operation(OpKind.READ, "t1")
+
+    def test_write_requires_object(self):
+        with pytest.raises(HistoryError):
+            Operation(OpKind.WRITE, "t1")
+
+    def test_commit_takes_no_object(self):
+        with pytest.raises(HistoryError):
+            Operation(OpKind.COMMIT, "t1", "x")
+
+    def test_predicates(self):
+        assert read("t1", "x").is_read
+        assert write("t1", "x").is_write
+        assert commit("t1").is_commit
+        assert abort("t1").is_abort
+
+    def test_str_forms(self):
+        assert str(read("t1", "x")) == "r_t1[x]"
+        assert str(write("t2", "y", cycle=3)) == "w_t2[y]@3"
+        assert str(commit("t1")) == "c_t1"
+
+
+class TestParseHistory:
+    def test_paper_example_1(self):
+        h = parse_history("r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun]")
+        assert len(h) == 8
+        assert h[0] == read("t1", "IBM")
+        assert h[2] == commit("t2")
+
+    def test_cycle_annotations(self):
+        h = parse_history("w1[x] c1@4 r2[x]@5 c2")
+        assert h[1].cycle == 4
+        assert h[2].cycle == 5
+
+    def test_non_numeric_ids(self):
+        h = parse_history("rA[x] cA")
+        assert h[0].txn == "A"
+
+    def test_malformed_token(self):
+        with pytest.raises(HistoryError):
+            parse_history("q1[x]")
+        with pytest.raises(HistoryError):
+            parse_history("r1x]")
+
+
+class TestHistoryValidation:
+    def test_operation_after_commit_rejected(self):
+        with pytest.raises(HistoryError):
+            History([commit("t1"), read("t1", "x")])
+
+    def test_double_read_rejected(self):
+        with pytest.raises(HistoryError):
+            History([read("t1", "x"), read("t1", "x")])
+
+    def test_double_write_rejected(self):
+        with pytest.raises(HistoryError):
+            History([write("t1", "x"), write("t1", "x")])
+
+    def test_explicit_t0_rejected(self):
+        with pytest.raises(HistoryError):
+            History([write(T0, "x")])
+
+    def test_non_strict_allows_repeats(self):
+        h = History([read("t1", "x"), read("t1", "x")], strict=False)
+        assert len(h) == 2
+
+
+class TestDerivedStructure:
+    def test_transactions(self):
+        h = parse_history("r1[x] w2[x] c2 w1[y] c1")
+        t1, t2 = h.transactions["t1"], h.transactions["t2"]
+        assert t1.read_set == frozenset({"x"})
+        assert t1.write_set == frozenset({"y"})
+        assert t1.is_update and not t1.is_read_only
+        assert t2.committed and t2.write_set == frozenset({"x"})
+
+    def test_read_only_and_update_partition(self):
+        h = parse_history("r1[x] c1 w2[x] c2")
+        assert h.read_only_transactions() == ("t1",)
+        assert h.update_transactions() == ("t2",)
+
+    def test_commit_cycle_recorded(self):
+        h = parse_history("w1[x] c1@7")
+        assert h.transactions["t1"].commit_cycle == 7
+
+    def test_objects(self):
+        h = parse_history("r1[x] w1[y] c1")
+        assert h.objects == frozenset({"x", "y"})
+
+    def test_t0_synthetic_transaction(self):
+        h = parse_history("r1[x] c1")
+        t0 = h.transaction(T0)
+        assert t0.committed and t0.write_set == frozenset({"x"})
+
+
+class TestReadsFrom:
+    def test_reads_initial_value_from_t0(self):
+        h = parse_history("r1[x] c1")
+        assert h.writer_of("t1", "x") == T0
+
+    def test_reads_latest_preceding_write(self):
+        h = parse_history("w1[x] c1 w2[x] c2 r3[x] c3")
+        assert h.writer_of("t3", "x") == "t2"
+
+    def test_skips_aborted_writer(self):
+        h = parse_history("w1[x] a1 r2[x] c2")
+        assert h.writer_of("t2", "x") == T0
+
+    def test_abort_after_read_does_not_retract(self):
+        # the abort happens after the read: positional semantics keep the
+        # read observing t1 (dirty reads never arise in our substrates,
+        # which read committed versions only)
+        h = parse_history("w1[x] r2[x] a1 c2")
+        assert h.writer_of("t2", "x") == "t1"
+
+
+class TestProjections:
+    def test_committed_projection_drops_uncommitted(self):
+        h = parse_history("w1[x] r2[x] c2 w3[y]")
+        proj = h.committed_projection()
+        assert set(proj.transaction_ids) == {"t2"}
+
+    def test_update_subhistory(self):
+        h = parse_history("r1[x] c1 w2[x] c2 r3[x] w3[y] c3")
+        update = h.update_subhistory()
+        assert set(update.transaction_ids) == {"t2", "t3"}
+        # all operations of updaters are kept, including their reads
+        assert any(op.is_read and op.txn == "t3" for op in update)
+
+    def test_projection_by_ids(self):
+        h = parse_history("r1[x] w2[x] c2 c1")
+        proj = h.projection(["t2"])
+        assert len(proj) == 2
+
+
+class TestSerial:
+    def test_serial_history_detected(self):
+        h = parse_history("w1[x] c1 r2[x] c2")
+        assert h.is_serial()
+
+    def test_interleaved_not_serial(self):
+        h = parse_history("w1[x] r2[x] c1 c2")
+        assert not h.is_serial()
+
+    def test_serial_builder(self):
+        h = History.serial([[write("t1", "x"), commit("t1")], [read("t2", "x"), commit("t2")]])
+        assert h.is_serial()
+
+    def test_equality_and_hash(self):
+        a = parse_history("w1[x] c1")
+        b = parse_history("w1[x] c1")
+        assert a == b and hash(a) == hash(b)

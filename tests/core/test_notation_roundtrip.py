@@ -1,0 +1,57 @@
+"""Round-trip property: History -> notation -> History is the identity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import History, commit, parse_history, read, write
+
+
+@st.composite
+def round_trippable_histories(draw):
+    num_txns = draw(st.integers(1, 4))
+    blocks = []
+    for t in range(1, num_txns + 1):
+        objs = draw(
+            st.lists(
+                st.sampled_from(["x", "y", "IBM", "Sun"]),
+                min_size=1,
+                max_size=2,
+                unique=True,
+            )
+        )
+        reads = objs[: draw(st.integers(0, len(objs)))]
+        writes = [o for o in objs if o not in reads]
+        ops = [read(f"t{t}", o) for o in reads]
+        ops += [write(f"t{t}", o) for o in writes]
+        if not ops:
+            ops = [read(f"t{t}", objs[0])]
+        cycle = draw(st.one_of(st.none(), st.integers(0, 9)))
+        ops.append(commit(f"t{t}", cycle=cycle))
+        blocks.append(ops)
+    order = draw(st.permutations(range(num_txns)))
+    ops_out = []
+    for idx in order:
+        ops_out.extend(blocks[idx])
+    return History(ops_out)
+
+
+@settings(max_examples=120, deadline=None)
+@given(round_trippable_histories())
+def test_notation_round_trip(history):
+    assert parse_history(history.to_notation()) == history
+
+
+def test_paper_example_round_trip():
+    text = "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+    history = parse_history(text)
+    assert history.to_notation() == text
+
+
+def test_cycle_annotations_round_trip():
+    text = "w1[x] c1@4 r2[x]@5 c2"
+    assert parse_history(text).to_notation() == text
+
+
+def test_non_numeric_ids_round_trip():
+    text = "rA[x] cA"
+    history = parse_history(text)
+    assert parse_history(history.to_notation()) == history

@@ -1,0 +1,124 @@
+"""Tests for polygraphs and P_H(t) (repro.core.polygraph)."""
+
+import pytest
+
+from repro.core.model import parse_history
+from repro.core.polygraph import Bipath, Polygraph, reader_polygraph
+
+
+class TestBipath:
+    def test_unordered_equality(self):
+        a = Bipath(("x", "y"), ("y", "z"))
+        b = Bipath(("y", "z"), ("x", "y"))
+        assert a == b and hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert Bipath(("x", "y"), ("y", "z")) != Bipath(("x", "y"), ("y", "w"))
+
+
+class TestPolygraphAcyclicity:
+    def test_no_bipaths_reduces_to_digraph(self):
+        p = Polygraph(arcs=[("a", "b"), ("b", "c")])
+        assert p.is_acyclic()
+        p2 = Polygraph(arcs=[("a", "b"), ("b", "a")])
+        assert not p2.is_acyclic()
+
+    def test_bipath_choice_resolves(self):
+        # fixed a->b; bipath offers b->c or c->a; both fine individually
+        p = Polygraph(arcs=[("a", "b")], bipaths=[Bipath(("b", "c"), ("c", "a"))])
+        assert p.is_acyclic()
+
+    def test_forced_choice_propagates(self):
+        # c->a would close a cycle with fixed a->...->c, forcing b->c
+        p = Polygraph(
+            arcs=[("a", "b"), ("a", "c")],
+            bipaths=[Bipath(("c", "a"), ("b", "c"))],
+        )
+        witness = p.acyclic_witness()
+        assert witness is not None
+        assert witness.has_edge("b", "c")
+        assert not witness.has_edge("c", "a")
+
+    def test_unsatisfiable_choices(self):
+        # both options of the bipath close a cycle
+        p = Polygraph(
+            arcs=[("a", "c"), ("b", "a"), ("c", "b")],
+            bipaths=[Bipath(("c", "a"), ("a", "b"))],
+        )
+        assert not p.is_acyclic()
+
+    def test_witness_includes_one_arc_per_bipath(self):
+        p = Polygraph(
+            arcs=[("a", "b")],
+            bipaths=[Bipath(("b", "c"), ("c", "a")), Bipath(("b", "d"), ("d", "a"))],
+        )
+        witness = p.acyclic_witness()
+        assert witness is not None
+        for bipath in p.bipaths:
+            assert witness.has_edge(*bipath.first) or witness.has_edge(*bipath.second)
+
+    def test_agrees_with_exhaustive_enumeration(self):
+        import itertools
+
+        polygraphs = [
+            Polygraph(arcs=[("a", "b")], bipaths=[Bipath(("b", "c"), ("c", "a"))]),
+            Polygraph(
+                arcs=[("a", "c"), ("b", "a"), ("c", "b")],
+                bipaths=[Bipath(("c", "a"), ("a", "b"))],
+            ),
+            Polygraph(
+                arcs=[("a", "b"), ("b", "c"), ("c", "d")],
+                bipaths=[
+                    Bipath(("d", "a"), ("b", "d")),
+                    Bipath(("c", "a"), ("a", "d")),
+                ],
+            ),
+        ]
+        for p in polygraphs:
+            brute = any(g.is_acyclic() for g in p.compatible_digraphs())
+            assert p.is_acyclic() == brute
+
+
+class TestReaderPolygraph:
+    def test_example_1_polygraphs_acyclic(self):
+        h = parse_history(
+            "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+        )
+        assert reader_polygraph(h, "t1").is_acyclic()
+        assert reader_polygraph(h, "t3").is_acyclic()
+
+    def test_nodes_are_live_set(self):
+        h = parse_history(
+            "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+        )
+        assert reader_polygraph(h, "t1").nodes == {"t1", "t4"}
+
+    def test_bipath_for_third_party_writer(self):
+        # t3 reads x from t1 while t2 (live via y) also writes x:
+        # bipath (t2,t1)|(t3,t2) — "t2 before t1 or after t3"
+        h = parse_history("w1[x] c1 r3[x] w2[x] w2[y] c2 r3[y] c3")
+        p = reader_polygraph(h, "t3")
+        assert Bipath(("t2", "t1"), ("t3", "t2")) in p.bipaths
+        # the only viable choice is t2 before t1
+        witness = p.acyclic_witness()
+        assert witness is not None and witness.has_edge("t2", "t1")
+
+    def test_non_live_writer_ignored(self):
+        # Definition 6 quantifies over N = LIVE(t): a writer outside the
+        # live set contributes no bipath
+        h = parse_history("w1[x] c1 r3[x] w2[x] c2 c3")
+        p = reader_polygraph(h, "t3")
+        assert p.bipaths == []
+        assert p.nodes == {"t1", "t3"}
+
+    def test_t0_read_forces_arc(self):
+        # t3 reads initial x; t1 (live via y) writes x: forced arc t3->t1
+        h = parse_history("r3[x] w1[x] w1[y] c1 r3[y] c3")
+        p = reader_polygraph(h, "t3")
+        assert ("t3", "t1") in p.arcs
+        # here t1 -> t3 (reads-from y) also exists: the polygraph is cyclic
+        assert not p.is_acyclic()
+
+    def test_inconsistent_reader_polygraph_cyclic(self):
+        h = parse_history("r3[x] w1[x] c1 r2[x] w2[y] c2 r3[y] c3")
+        assert not reader_polygraph(h, "t3").is_acyclic()

@@ -1,0 +1,87 @@
+"""Additional polygraph coverage: enumeration semantics and scaling."""
+
+import itertools
+
+import pytest
+
+from repro.core.polygraph import Bipath, Polygraph
+from repro.core.reductions import (
+    CNF,
+    Literal,
+    make_non_circular,
+    polygraph_from_noncircular,
+    reduction_polygraph,
+)
+
+p, q, r = Literal("p"), Literal("q"), Literal("r")
+
+
+class TestCompatibleDigraphs:
+    def test_enumeration_count(self):
+        poly = Polygraph(
+            arcs=[("a", "b")],
+            bipaths=[Bipath(("b", "c"), ("c", "a")), Bipath(("b", "d"), ("d", "a"))],
+        )
+        graphs = list(poly.compatible_digraphs())
+        assert len(graphs) == 4  # 2^|B|
+
+    def test_every_member_contains_one_arc_per_bipath(self):
+        poly = Polygraph(
+            arcs=[("a", "b")],
+            bipaths=[Bipath(("b", "c"), ("c", "a"))],
+        )
+        for graph in poly.compatible_digraphs():
+            assert graph.has_edge("b", "c") or graph.has_edge("c", "a")
+
+    def test_no_bipaths_single_digraph(self):
+        poly = Polygraph(arcs=[("a", "b")])
+        graphs = list(poly.compatible_digraphs())
+        assert len(graphs) == 1
+
+
+class TestWitnessVsEnumeration:
+    @pytest.mark.parametrize(
+        "formula,forced_false_satisfiable",
+        [
+            (CNF([(p.negate(), q)]), True),   # p=False, q=True works
+            (CNF([(p,)]), False),             # p must be True
+        ],
+    )
+    def test_lemma8_via_enumeration(self, formula, forced_false_satisfiable):
+        """Cross-check Lemma 8 against brute-force enumeration on tiny
+        formulas: an acyclic compatible digraph containing b(p)->c(p)
+        exists iff the formula is satisfiable with p false."""
+        poly = polygraph_from_noncircular(formula)
+        found = any(
+            g.is_acyclic() and g.has_edge("b(p)", "c(p)")
+            for g in poly.compatible_digraphs()
+        )
+        assert found == forced_false_satisfiable
+
+
+class TestReductionScaling:
+    def test_larger_formula_still_decided(self):
+        """A 3-variable formula keeps the pipeline comfortably fast."""
+        from repro.core.legality import is_legal
+        from repro.core.reductions import reduce_sat_to_history
+
+        formula = CNF([(p, q, r), (p.negate(), q.negate(), r), (r.negate(), q)])
+        artifacts = reduce_sat_to_history(formula)
+        assert is_legal(artifacts.history) == formula.is_satisfiable()
+
+    def test_unsat_three_vars(self):
+        from repro.core.legality import is_legal
+        from repro.core.reductions import reduce_sat_to_history
+
+        # (p) ∧ (¬p): unsatisfiable even with a third variable around
+        formula = CNF([(p, q), (p, q.negate()), (p.negate(), r), (p.negate(), r.negate())])
+        assert not formula.is_satisfiable()
+        artifacts = reduce_sat_to_history(formula)
+        assert not is_legal(artifacts.history)
+
+    def test_reduction_polygraph_arc_counts(self):
+        phi = make_non_circular(CNF([(p, q)]))
+        poly = polygraph_from_noncircular(phi)
+        prime = reduction_polygraph(poly, "p")
+        assert len(prime.arcs) == len(poly.arcs) + len(poly.nodes)
+        assert len(prime.nodes) == len(poly.nodes) + 1

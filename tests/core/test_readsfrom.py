@@ -1,0 +1,103 @@
+"""Tests for LIVE sets and affects sets (repro.core.readsfrom)."""
+
+import pytest
+
+from repro.core.model import T0, parse_history
+from repro.core.readsfrom import (
+    affects_set,
+    last_committed_writer,
+    live_set,
+    live_sets,
+)
+
+
+class TestLiveSet:
+    def test_contains_self(self):
+        h = parse_history("r1[x] c1")
+        assert "t1" in live_set(h, "t1")
+
+    def test_direct_reads_from(self):
+        h = parse_history("w1[x] c1 r2[x] c2")
+        assert live_set(h, "t2") == frozenset({"t1", "t2"})
+
+    def test_transitive_closure(self):
+        h = parse_history("w1[x] c1 r2[x] w2[y] c2 r3[y] c3")
+        assert live_set(h, "t3") == frozenset({"t1", "t2", "t3"})
+
+    def test_t0_excluded_by_default(self):
+        h = parse_history("r1[x] c1")
+        assert T0 not in live_set(h, "t1")
+        assert T0 in live_set(h, "t1", include_t0=True)
+
+    def test_unrelated_updates_not_live(self):
+        # Paper Example 1: t1 reads IBM (pre-update) and Sun (from t4);
+        # t2's IBM update is NOT in t1's live set.
+        h = parse_history(
+            "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+        )
+        assert live_set(h, "t1") == frozenset({"t1", "t4"})
+        assert live_set(h, "t3") == frozenset({"t3", "t2"})
+
+    def test_live_sets_covers_all(self):
+        h = parse_history("w1[x] c1 r2[x] c2")
+        sets = live_sets(h)
+        assert set(sets) == {"t1", "t2"}
+
+
+class TestLastCommittedWriter:
+    def test_no_writer_is_t0(self):
+        h = parse_history("r1[x] c1")
+        assert last_committed_writer(h, "x") == (T0, 0)
+
+    def test_latest_committed_wins(self):
+        h = parse_history("w1[x] c1@1 w2[x] c2@5")
+        assert last_committed_writer(h, "x") == ("t2", 5)
+
+    def test_uncommitted_writes_ignored(self):
+        h = parse_history("w1[x] c1@1 w2[x]")
+        assert last_committed_writer(h, "x") == ("t1", 1)
+
+    def test_commit_order_not_write_order(self):
+        # t2 writes after t1 but commits first; the *last committed*
+        # writer is decided by commit position
+        h = parse_history("w1[x] w2[y] c2@1 c1@2")
+        assert last_committed_writer(h, "x") == ("t1", 2)
+
+
+class TestAffectsSet:
+    def test_read_affects_itself_only_when_initial(self):
+        h = parse_history("r1[x] c1")
+        (op,) = [op for op in h if op.is_read]
+        assert affects_set(h, op) == frozenset({op})
+
+    def test_read_includes_writer_chain(self):
+        h = parse_history("w1[x] c1 r2[x] w2[y] c2 r3[y] c3")
+        read3 = [op for op in h if op.is_read and op.txn == "t3"][0]
+        result = affects_set(h, read3)
+        kinds = {(op.kind.value, op.txn, op.obj) for op in result}
+        # r3[y] <- w2[y] <- r2[x] <- w1[x]
+        assert kinds == {
+            ("r", "t3", "y"),
+            ("w", "t2", "y"),
+            ("r", "t2", "x"),
+            ("w", "t1", "x"),
+        }
+
+    def test_write_includes_prior_reads(self):
+        h = parse_history("w1[x] c1 r2[x] w2[y] c2")
+        write2 = [op for op in h if op.is_write and op.txn == "t2"][0]
+        result = affects_set(h, write2)
+        assert any(op.is_read and op.txn == "t2" for op in result)
+        assert any(op.is_write and op.txn == "t1" for op in result)
+
+    def test_lemma1_read_equals_writer_plus_self(self):
+        # AS(r) = {r} ∪ AS(w) where w is the write r reads from (Lemma 1)
+        h = parse_history("w1[x] c1 r2[x] w2[y] c2 r3[y] c3")
+        read3 = [op for op in h if op.is_read and op.txn == "t3"][0]
+        write2 = [op for op in h if op.is_write and op.txn == "t2"][0]
+        assert affects_set(h, read3) == frozenset({read3}) | affects_set(h, write2)
+
+    def test_commit_rejected(self):
+        h = parse_history("w1[x] c1")
+        with pytest.raises(ValueError):
+            affects_set(h, h[1])

@@ -1,0 +1,184 @@
+"""Tests for the Appendix B reduction machinery (repro.core.reductions)."""
+
+import pytest
+
+from repro.core.legality import is_legal
+from repro.core.polygraph import reader_polygraph
+from repro.core.reductions import (
+    CNF,
+    Literal,
+    add_universal_literal,
+    assignment_digraph_arcs,
+    make_non_circular,
+    polygraph_from_noncircular,
+    reduce_sat_to_history,
+    reduction_polygraph,
+    to_three_sat,
+)
+from repro.core.serialgraph import Digraph
+
+p, q, r = Literal("p"), Literal("q"), Literal("r")
+
+SAT_FORMULAS = [
+    CNF([(p, q)]),
+    CNF([(p, q), (p.negate(), q)]),
+    CNF([(p, q, r), (p.negate(), q.negate(), r)]),
+]
+UNSAT_FORMULAS = [
+    CNF([(p, q), (p.negate(), q), (p, q.negate()), (p.negate(), q.negate())]),
+]
+
+
+class TestCNF:
+    def test_evaluate(self):
+        f = CNF([(p, q.negate())])
+        assert f.evaluate({"p": True, "q": True})
+        assert not f.evaluate({"p": False, "q": True})
+
+    def test_dpll_finds_model(self):
+        for f in SAT_FORMULAS:
+            model = f.satisfying_assignment()
+            assert model is not None and f.evaluate(model)
+
+    def test_dpll_detects_unsat(self):
+        for f in UNSAT_FORMULAS:
+            assert not f.is_satisfiable()
+
+    def test_forced_values_respected(self):
+        f = CNF([(p, q)])
+        model = f.satisfying_assignment(forced={"p": False})
+        assert model is not None and model["p"] is False and model["q"] is True
+
+    def test_forced_contradiction(self):
+        f = CNF([(p,)])
+        assert f.satisfying_assignment(forced={"p": False}) is None
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            CNF([()])
+
+    def test_mixed_and_non_circular(self):
+        mixed = CNF([(p, q.negate())])
+        assert mixed.is_mixed(mixed.clauses[0])
+        pure = CNF([(p, q)])
+        assert not pure.is_mixed(pure.clauses[0])
+        assert pure.is_non_circular()
+
+
+class TestTransformations:
+    def test_add_universal_literal(self):
+        f2 = add_universal_literal(CNF([(p, q), (q.negate(),)]), "x*")
+        assert all(any(l.var == "x*" for l in c) for c in f2.clauses)
+        assert f2.is_satisfiable(forced={"x*": True})
+
+    def test_universal_literal_name_clash(self):
+        with pytest.raises(ValueError):
+            add_universal_literal(CNF([(p,)]), "p")
+
+    def test_three_sat_clause_width(self):
+        wide = CNF([(p, q, r, Literal("s"), Literal("t"))])
+        f3 = to_three_sat(wide)
+        assert all(len(c) <= 3 for c in f3.clauses)
+
+    def test_three_sat_preserves_satisfiability(self):
+        wide = CNF([(p, q, r, Literal("s"))])
+        assert to_three_sat(wide).is_satisfiable() == wide.is_satisfiable()
+        contradiction = CNF([(p,), (p.negate(),), (p, q, r, Literal("s"))])
+        assert not to_three_sat(contradiction).is_satisfiable()
+
+    def test_make_non_circular(self):
+        f = CNF([(p, q.negate()), (p.negate(), q), (p, q)])
+        nc = make_non_circular(f)
+        assert nc.is_non_circular()
+        assert nc.is_satisfiable() == f.is_satisfiable()
+
+    def test_non_circular_preserves_forced_satisfiability(self):
+        f = CNF([(p, q), (p, q.negate())])  # needs p=True or q both ways
+        nc = make_non_circular(f)
+        assert nc.is_satisfiable(forced={"p": True})
+        # p=False forces q and ¬q: unsat — preserved through the copies
+        assert f.is_satisfiable(forced={"p": False}) == nc.is_satisfiable(
+            forced={"p": False}
+        )
+
+
+class TestPolygraphGadgets:
+    def test_requires_non_circular(self):
+        circular = CNF([(p, q.negate()), (p.negate(), q)])
+        assert not circular.is_non_circular()
+        with pytest.raises(ValueError):
+            polygraph_from_noncircular(circular)
+
+    def test_base_digraph_acyclic(self):
+        f = make_non_circular(CNF([(p, q, r)]))
+        poly = polygraph_from_noncircular(f)
+        base = Digraph(sorted(poly.nodes))
+        for arc in poly.arcs:
+            base.add_edge(*arc)
+        assert base.is_acyclic()
+
+    def test_lemma8_satisfiable_with_false(self):
+        # (¬p ∨ q): satisfiable with p false — the polygraph admits an
+        # acyclic digraph containing b(p) -> c(p)
+        f = CNF([(p.negate(), q)])
+        assert f.is_non_circular()
+        poly = polygraph_from_noncircular(f)
+        assignment = {"p": False, "q": True}
+        digraph = Digraph(sorted(poly.nodes))
+        for arc in poly.arcs:
+            digraph.add_edge(*arc)
+        for arc in assignment_digraph_arcs(f, assignment):
+            digraph.add_edge(*arc)
+        assert digraph.is_acyclic()
+        assert digraph.has_edge("b(p)", "c(p)")
+
+    def test_lemma9_rejects_falsifying_assignment(self):
+        f = CNF([(p,)])
+        with pytest.raises(ValueError):
+            assignment_digraph_arcs(f, {"p": False})
+
+    def test_lemma9_acyclic_for_all_models(self):
+        f = make_non_circular(to_three_sat(CNF([(p, q, r)])))
+        for value_p in (True, False):
+            model = f.satisfying_assignment(forced={"p": value_p})
+            if model is None:
+                continue
+            digraph = Digraph(sorted(f.variables))
+            poly = polygraph_from_noncircular(f)
+            digraph = Digraph(sorted(poly.nodes))
+            for arc in poly.arcs:
+                digraph.add_edge(*arc)
+            for arc in assignment_digraph_arcs(f, model):
+                digraph.add_edge(*arc)
+            assert digraph.is_acyclic()
+
+
+class TestFullReduction:
+    @pytest.mark.parametrize("formula", SAT_FORMULAS)
+    def test_satisfiable_yields_legal_history(self, formula):
+        artifacts = reduce_sat_to_history(formula)
+        assert artifacts.history.update_subhistory().is_serial()
+        assert is_legal(artifacts.history)
+
+    @pytest.mark.parametrize("formula", UNSAT_FORMULAS)
+    def test_unsatisfiable_yields_illegal_history(self, formula):
+        artifacts = reduce_sat_to_history(formula)
+        assert artifacts.history.update_subhistory().is_serial()
+        assert not is_legal(artifacts.history)
+
+    def test_reader_polygraph_matches_construction(self):
+        artifacts = reduce_sat_to_history(CNF([(p, q)]))
+        rebuilt = reader_polygraph(artifacts.history, artifacts.reader)
+        expected = artifacts.reader_polygraph_
+        assert set(rebuilt.nodes) == set(expected.nodes)
+        assert set(rebuilt.arcs) == set(expected.arcs)
+        assert set(rebuilt.bipaths) == set(expected.bipaths)
+
+    def test_reduction_polygraph_structure(self):
+        f = make_non_circular(CNF([(p, q)]))
+        poly = polygraph_from_noncircular(f)
+        prime = reduction_polygraph(poly, "p")
+        # every original node points at the reader
+        for node in poly.nodes:
+            assert (node, "tR") in prime.arcs
+        assert len(prime.bipaths) == len(poly.bipaths) + 1

@@ -1,0 +1,146 @@
+"""Differential tests: numpy control state vs the literal reference
+implementations (repro.core.reference), plus the group-refinement
+monotonicity property."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.control_matrix import ControlMatrix
+from repro.core.group_matrix import (
+    GroupedControlState,
+    LastWriteVector,
+    Partition,
+    uniform_partition,
+)
+from repro.core.reference import ReferenceControlMatrix, ReferenceLastWriteVector
+from repro.core.validators import ControlSnapshot, GroupMatrixValidator
+
+N = 4
+
+commit_step = st.tuples(
+    st.integers(0, 2),
+    st.lists(st.integers(0, N - 1), max_size=2, unique=True),
+    st.lists(st.integers(0, N - 1), min_size=1, max_size=3, unique=True),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(commit_step, min_size=1, max_size=15))
+def test_vectorised_matrix_equals_reference(steps):
+    fast = ControlMatrix(N)
+    slow = ReferenceControlMatrix(N)
+    cycle = 1
+    for bump, rs, ws in steps:
+        cycle += bump
+        fast.apply_commit(cycle, rs, ws)
+        slow.apply_commit(cycle, rs, ws)
+    assert fast.array.tolist() == slow.rows()
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(commit_step, min_size=1, max_size=15))
+def test_vector_equals_reference(steps):
+    fast = LastWriteVector(N)
+    slow = ReferenceLastWriteVector(N)
+    cycle = 1
+    for bump, rs, ws in steps:
+        cycle += bump
+        fast.apply_commit(cycle, rs, ws)
+        slow.apply_commit(cycle, rs, ws)
+    assert fast.array.tolist() == slow.values()
+
+
+class TestReferenceValidation:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ReferenceControlMatrix(0)
+
+    def test_read_only_noop(self):
+        ref = ReferenceControlMatrix(2)
+        ref.apply_commit(3, [0, 1], [])
+        assert ref.rows() == [[0, 0], [0, 0]]
+
+    def test_example_4(self):
+        ref = ReferenceControlMatrix(2)
+        ref.apply_commit(1, [], [0, 1])
+        ref.apply_commit(2, [0], [0])
+        ref.apply_commit(3, [1], [1])
+        assert ref.entry(0, 0) == 2
+        assert ref.entry(1, 1) == 3
+        assert ref.entry(0, 1) == 1
+        assert ref.entry(1, 0) == 1
+
+
+class TestGroupRefinementMonotonicity:
+    """Coarser partitions are strictly more conservative: if the coarse
+    validator accepts a read, every refinement accepts it too.  (The
+    validator hierarchy of Sec. 3.2.2, generalised beyond the two
+    endpoints the paper focuses on.)"""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_coarse_accept_implies_fine_accept(self, seed):
+        rng = random.Random(seed)
+        n = 6
+        coarse_part = uniform_partition(n, 2)
+        fine_part = Partition(
+            # split each coarse group in half: a strict refinement
+            [[0], [1, 2], [3], [4, 5]],
+            n,
+        )
+        coarse_state = GroupedControlState(coarse_part)
+        fine_state = GroupedControlState(fine_part)
+        coarse_v = GroupMatrixValidator(coarse_part)
+        fine_v = GroupMatrixValidator(fine_part)
+        coarse_v.begin(), fine_v.begin()
+        cycle = 1
+        for _ in range(40):
+            if rng.random() < 0.5:
+                objs = rng.sample(range(n), rng.randint(1, n))
+                split = rng.randint(0, len(objs) - 1)
+                coarse_state.apply_commit(cycle, objs[:split], objs[split:])
+                fine_state.apply_commit(cycle, objs[:split], objs[split:])
+                cycle += rng.randint(0, 1)
+            else:
+                obj = rng.randrange(n)
+                ok_coarse = coarse_v.validate_read(
+                    obj,
+                    ControlSnapshot(
+                        cycle, grouped=coarse_state.snapshot(), partition=coarse_part
+                    ),
+                )
+                ok_fine = fine_v.validate_read(
+                    obj,
+                    ControlSnapshot(
+                        cycle, grouped=fine_state.snapshot(), partition=fine_part
+                    ),
+                )
+                assert (not ok_coarse) or ok_fine, (
+                    f"coarse accepted but refinement rejected (seed {seed})"
+                )
+                if not (ok_coarse and ok_fine):
+                    coarse_v.begin()
+                    fine_v.begin()
+
+    def test_refinement_states_dominate(self):
+        """Entrywise: coarse MC(i, group(j)) >= fine MC(i, group(j))."""
+        rng = random.Random(3)
+        n = 6
+        coarse_part = uniform_partition(n, 2)
+        fine_part = uniform_partition(n, 6)
+        coarse_state = GroupedControlState(coarse_part)
+        fine_state = GroupedControlState(fine_part)
+        cycle = 1
+        for _ in range(30):
+            objs = rng.sample(range(n), rng.randint(1, n))
+            split = rng.randint(0, len(objs) - 1)
+            coarse_state.apply_commit(cycle, objs[:split], objs[split:])
+            fine_state.apply_commit(cycle, objs[:split], objs[split:])
+            cycle += rng.randint(0, 1)
+        for i in range(n):
+            for j in range(n):
+                assert coarse_state.entry(
+                    i, coarse_part.group_of(j)
+                ) >= fine_state.entry(i, fine_part.group_of(j))

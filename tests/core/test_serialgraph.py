@@ -1,0 +1,120 @@
+"""Tests for conflict graphs and S_H(t) (repro.core.serialgraph)."""
+
+import pytest
+
+from repro.core.model import parse_history
+from repro.core.serialgraph import (
+    Digraph,
+    conflict_graph,
+    conflict_serialization_order,
+    is_conflict_serializable,
+    reader_serialization_graph,
+)
+
+
+class TestDigraph:
+    def test_topological_order(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert g.topological_order() == ["a", "b", "c"]
+
+    def test_cycle_returns_none(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert g.topological_order() is None
+        assert not g.is_acyclic()
+
+    def test_self_loops_ignored(self):
+        g = Digraph()
+        g.add_edge("a", "a")
+        assert g.is_acyclic()
+        assert not g.edges
+
+    def test_find_cycle_reconstructs(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"a", "b", "c"}
+
+    def test_find_cycle_none_when_acyclic(self):
+        g = Digraph(["x"])
+        assert g.find_cycle() is None
+
+    def test_deterministic_tie_break(self):
+        g = Digraph(["b", "a", "c"])
+        assert g.topological_order() == ["a", "b", "c"]
+
+    def test_copy_is_independent(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        h = g.copy()
+        h.add_edge("b", "a")
+        assert g.is_acyclic() and not h.is_acyclic()
+
+
+class TestConflictGraph:
+    def test_serializable_history(self):
+        h = parse_history("w1[x] c1 r2[x] w2[y] c2")
+        assert is_conflict_serializable(h)
+        assert conflict_serialization_order(h) == ["t1", "t2"]
+
+    def test_classic_nonserializable(self):
+        # lost-update pattern: r1[x] r2[x] w1[x] w2[x]
+        h = parse_history("r1[x] r2[x] w1[x] w2[x] c1 c2")
+        assert not is_conflict_serializable(h)
+
+    def test_paper_example_1_not_serializable(self):
+        h = parse_history(
+            "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+        )
+        assert not is_conflict_serializable(h)
+
+    def test_committed_only_default(self):
+        # uncommitted t2 does not constrain
+        h = parse_history("r1[x] w2[x] c1")
+        assert is_conflict_serializable(h)
+
+    def test_all_conflict_kinds_produce_edges(self):
+        h = parse_history("w1[x] r2[x] w2[x] c1 c2")  # wr and ww
+        g = conflict_graph(h)
+        assert g.has_edge("t1", "t2")
+        h2 = parse_history("r1[x] w2[x] c1 c2")  # rw
+        assert conflict_graph(h2).has_edge("t1", "t2")
+
+
+class TestReaderSerializationGraph:
+    def test_example_1_reader_graphs_acyclic(self):
+        h = parse_history(
+            "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+        )
+        assert reader_serialization_graph(h, "t1").is_acyclic()
+        assert reader_serialization_graph(h, "t3").is_acyclic()
+
+    def test_restricted_to_live_set(self):
+        h = parse_history(
+            "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+        )
+        g1 = reader_serialization_graph(h, "t1")
+        assert g1.nodes == frozenset({"t1", "t4"})
+
+    def test_inconsistent_reader_is_cyclic(self):
+        # t3 reads x before t1 writes it (gets initial value) but reads y
+        # from t2 which read t1's x: t3 -> t1 -> t2 -> t3 cycle
+        h = parse_history("r3[x] w1[x] c1 r2[x] w2[y] c2 r3[y] c3")
+        g = reader_serialization_graph(h, "t3")
+        assert not g.is_acyclic()
+
+    def test_wr_arcs_follow_reads_from(self):
+        # t3 reads x from t2 (the later writer); no arc t1 -> t3 for the
+        # earlier write, only the version-order arcs among updaters
+        h = parse_history("w1[x] c1 r2[x] w2[x] c2 r3[x] c3")
+        g = reader_serialization_graph(h, "t3")
+        assert g.has_edge("t2", "t3")
+        assert not g.has_edge("t1", "t3")
+        assert g.has_edge("t1", "t2")  # ww arc

@@ -1,0 +1,160 @@
+"""Theorem 1: the F-Matrix protocol commits a read-only transaction iff
+its serialization graph S(t_R) is acyclic.
+
+These tests script server commits and client reads through the real
+:class:`repro.server.BroadcastServer` + validator stack, reconstruct the
+induced global history with provenance, and check *both* directions:
+
+* every protocol-committed reader has an acyclic S(t_R) (soundness);
+* whenever the protocol rejects a read, the hypothetical history in which
+  the read had been allowed has a cyclic S(t_R) (the protocol is not
+  conservative — completeness of Theorem 1's "if" direction).
+
+R-Matrix (Theorem 9) and group-matrix only get the soundness direction —
+they are deliberately conservative.
+"""
+
+import random
+
+import pytest
+
+from repro.client.runtime import ReadOnlyTransactionRuntime
+from repro.core.model import History, commit, read, write
+from repro.core.serialgraph import reader_serialization_graph
+from repro.core.validators import make_validator
+from repro.core.group_matrix import uniform_partition
+from repro.server.server import BroadcastServer
+
+
+def history_from_server(server, client_reads, reader_tid, *, include_commit=True):
+    """Global history: serial commit log + reader ops placed by provenance."""
+    inserts = {}
+    for record in server.database.commit_log:
+        block = [read(record.txn, str(o)) for o in record.read_set]
+        block += [write(record.txn, str(o)) for o, _v in record.writes]
+        block.append(commit(record.txn, cycle=record.commit_cycle))
+        inserts[record.txn] = block
+    blocks = [("t0", [])] + [(r.txn, inserts[r.txn]) for r in server.database.commit_log]
+    reader_ops = {}
+    for obj, writer in client_reads:
+        reader_ops.setdefault(writer, []).append(read(reader_tid, str(obj)))
+    out = []
+    for tid, block in blocks:
+        out.extend(block)
+        out.extend(reader_ops.get(tid, ()))
+    if include_commit:
+        out.append(commit(reader_tid))
+    return History(out, strict=False)
+
+
+def run_script(protocol, seed, num_objects=4, steps=40):
+    """Random interleaving of server commits and one client's reads.
+
+    Returns a list of (committed_reader_history, rejected_read_info)
+    observations for checking both Theorem 1 directions.
+    """
+    rng = random.Random(seed)
+    partition = uniform_partition(num_objects, 2)
+    server = BroadcastServer(num_objects, protocol, partition=partition)
+    cycle = 0
+    broadcast = None
+    validator = make_validator(protocol, partition=partition)
+    runtime = None
+    reader_count = 0
+    committed = []   # (tid, [(obj, writer)])
+    rejected = []    # (tid, [(obj, writer)] so far, failed obj, hypothetical writer)
+
+    def new_cycle():
+        nonlocal cycle, broadcast
+        cycle += 1
+        broadcast = server.begin_cycle(cycle)
+
+    new_cycle()
+
+    def new_reader():
+        nonlocal runtime, reader_count
+        reader_count += 1
+        length = rng.randint(2, min(4, num_objects))
+        objs = rng.sample(range(num_objects), length)
+        runtime = ReadOnlyTransactionRuntime(f"r{reader_count}", objs, validator)
+
+    new_reader()
+    sid = 0
+    for _ in range(steps):
+        action = rng.random()
+        if action < 0.35:
+            sid += 1
+            objs = rng.sample(range(num_objects), rng.randint(1, num_objects))
+            split = rng.randint(0, len(objs) - 1)
+            writes = {o: f"s{sid}" for o in objs[split:]}
+            if writes:
+                server.commit_update(f"s{sid}", objs[:split], writes, cycle=cycle)
+        elif action < 0.55:
+            new_cycle()
+        else:
+            assert runtime is not None
+            obj = runtime.next_object
+            if obj is None:
+                committed.append((runtime.tid, [(v.obj, v.writer) for v in runtime.versions]))
+                new_reader()
+                continue
+            observed = [(v.obj, v.writer) for v in runtime.versions]
+            outcome = runtime.deliver(broadcast)
+            if not outcome.ok:
+                hypothetical_writer = broadcast.version(obj).writer
+                rejected.append((runtime.tid, observed, obj, hypothetical_writer))
+                runtime.restart()
+    return server, committed, rejected
+
+
+PROTOCOLS = ("f-matrix", "r-matrix", "datacycle", "group-matrix")
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("seed", range(6))
+def test_soundness_committed_readers_acyclic(protocol, seed):
+    server, committed, _rejected = run_script(protocol, seed)
+    for tid, observed in committed:
+        h = history_from_server(server, observed, tid)
+        graph = reader_serialization_graph(h, tid)
+        assert graph.is_acyclic(), (
+            f"{protocol} committed reader {tid} with cyclic S(t): {h}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_fmatrix_completeness_rejections_necessary(seed):
+    """Theorem 1 'if': F-Matrix rejects only reads that would close a
+    cycle in S(t_R)."""
+    server, _committed, rejected = run_script("f-matrix", seed)
+    for tid, observed, failed_obj, writer in rejected:
+        hypothetical = observed + [(failed_obj, writer)]
+        h = history_from_server(server, hypothetical, tid, include_commit=True)
+        graph = reader_serialization_graph(h, tid)
+        assert not graph.is_acyclic(), (
+            f"f-matrix rejected {tid} reading {failed_obj} from {writer} "
+            f"although S(t) stays acyclic: {h}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_rejections_happen_under_contention(seed):
+    """Sanity: the scripted runs actually exercise rejections for the
+    strict protocols (otherwise the tests above prove nothing)."""
+    _server, _committed, rejected_dc = run_script("datacycle", seed)
+    # not every seed rejects, but across seeds datacycle surely does
+    # (asserted in aggregate below)
+    assert isinstance(rejected_dc, list)
+
+
+def test_rejections_aggregate_nonzero():
+    total = 0
+    for seed in range(10):
+        _s, _c, rejected = run_script("datacycle", seed)
+        total += len(rejected)
+    assert total > 0, "scripts never rejected a read: scenarios too weak"
+    total_f = 0
+    for seed in range(10):
+        _s, _c, rejected = run_script("f-matrix", seed)
+        total_f += len(rejected)
+    assert total_f > 0

@@ -1,0 +1,82 @@
+"""Tests for exact view serializability (repro.core.viewser)."""
+
+import pytest
+
+from repro.core.model import parse_history
+from repro.core.serialgraph import is_conflict_serializable
+from repro.core.viewser import (
+    MAX_EXACT_TRANSACTIONS,
+    ViewSerializabilityLimitError,
+    final_writes,
+    is_view_serializable,
+    view_equivalent,
+    view_serialization_order,
+)
+
+
+class TestFinalWrites:
+    def test_last_write_wins(self):
+        h = parse_history("w1[x] c1 w2[x] c2")
+        assert final_writes(h) == {"x": "t2"}
+
+    def test_multiple_objects(self):
+        h = parse_history("w1[x] w1[y] c1 w2[y] c2")
+        assert final_writes(h) == {"x": "t1", "y": "t2"}
+
+
+class TestViewEquivalent:
+    def test_serial_history_equivalent_to_itself(self):
+        h = parse_history("w1[x] c1 r2[x] c2")
+        assert view_equivalent(h, ["t1", "t2"])
+        assert not view_equivalent(h, ["t2", "t1"])
+
+    def test_requires_permutation(self):
+        h = parse_history("w1[x] c1")
+        with pytest.raises(ValueError):
+            view_equivalent(h, ["t1", "t2"])
+
+
+class TestViewSerializable:
+    def test_conflict_serializable_implies_view(self):
+        h = parse_history("w1[x] c1 r2[x] w2[y] c2")
+        assert is_conflict_serializable(h)
+        assert is_view_serializable(h)
+
+    def test_blind_write_history_view_not_conflict(self):
+        # Classic: view serializable but not conflict serializable
+        # (t2's blind writes let t1's writes be overwritten "invisibly").
+        h = parse_history("r1[x] w2[x] w2[y] c2 w1[x] w1[y] w3[x] w3[y] c3 c1")
+        assert not is_conflict_serializable(h)
+        assert is_view_serializable(h)
+        order = view_serialization_order(h)
+        assert order is not None
+        assert view_equivalent(h, order)
+
+    def test_nonserializable_rejected(self):
+        h = parse_history("r1[x] r2[x] w1[x] w2[x] c1 c2")
+        assert not is_view_serializable(h)
+
+    def test_example_1_full_history_not_view_serializable(self):
+        h = parse_history(
+            "r1[IBM] w2[IBM] c2 r3[IBM] r3[Sun] w4[Sun] c4 r1[Sun] c1 c3"
+        )
+        assert not is_view_serializable(h)
+
+    def test_exact_limit_enforced(self):
+        # a non-conflict-serializable history with too many transactions
+        # must refuse rather than hang
+        ops = []
+        n = MAX_EXACT_TRANSACTIONS + 1
+        # pairwise rw/wr cycle between t1 and t2 + padding transactions
+        ops.append("r1[x] r2[x] w1[x] w2[x] c1 c2")
+        for k in range(3, n + 2):
+            ops.append(f"w{k}[o{k}] c{k}")
+        h = parse_history(" ".join(ops))
+        with pytest.raises(ViewSerializabilityLimitError):
+            is_view_serializable(h)
+
+    def test_csr_fast_path_handles_large_serial_histories(self):
+        # serial histories are conflict serializable: no limit applies
+        parts = [f"w{k}[o{k}] c{k}" for k in range(1, 40)]
+        h = parse_history(" ".join(parts))
+        assert is_view_serializable(h)

@@ -1,0 +1,41 @@
+"""Tests for the experiment CLI (repro.experiments.cli)."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig2", "--transactions", "50"])
+        assert args.experiment == "fig2"
+        assert args.transactions == 50
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figz"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "table1" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out and "f-matrix" in out
+
+    def test_run_small_experiment(self, capsys, tmp_path):
+        code = main(
+            ["fig4b", "--transactions", "6", "--seed", "3", "--csv", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig4b" in out
+        csv_file = tmp_path / "fig4b.csv"
+        assert csv_file.exists()
+        assert "fig4b,f-matrix" in csv_file.read_text()

@@ -1,0 +1,83 @@
+"""Tests for the ASCII chart renderer (repro.experiments.plotting)."""
+
+import pytest
+
+from repro.experiments.plotting import protocol_glyphs, render_chart
+from repro.experiments.sweeps import ExperimentResult, Point, Series
+from repro.sim.metrics import SummaryStat
+
+
+def stat(mean):
+    return SummaryStat(mean, 0.0, 5, 0.0)
+
+
+def make_result():
+    result = ExperimentResult("demo", "x")
+    fm = Series("f-matrix")
+    fm.points.append(Point(2.0, stat(1e6), stat(0.1), 0, 0))
+    fm.points.append(Point(8.0, stat(4e6), stat(0.5), 0, 0))
+    dc = Series("datacycle")
+    dc.points.append(Point(2.0, stat(2e6), stat(1.0), 0, 0))
+    dc.points.append(Point(8.0, stat(6e7), stat(9.0), 0, 0))
+    result.series = {"f-matrix": fm, "datacycle": dc}
+    return result
+
+
+class TestGlyphs:
+    def test_distinct_letters(self):
+        glyphs = protocol_glyphs(["f-matrix", "r-matrix", "datacycle", "f-matrix-no"])
+        assert len(set(glyphs.values())) == 4
+        assert glyphs["f-matrix"] == "F"
+        assert glyphs["f-matrix-no"] == "o"
+
+    def test_collision_disambiguation(self):
+        glyphs = protocol_glyphs(["fast", "fury"])
+        assert len(set(glyphs.values())) == 2
+
+
+class TestRenderChart:
+    def test_contains_axes_and_legend(self):
+        chart = render_chart(make_result(), height=8, width=32)
+        assert "== demo: response time ==" in chart
+        assert "F=f-matrix" in chart and "D=datacycle" in chart
+        assert "+" + "-" * 32 in chart
+        # y labels present on extremes
+        assert "6.00e+07" in chart and "1.00e+06" in chart
+
+    def test_extreme_points_at_extreme_rows(self):
+        chart = render_chart(make_result(), height=8, width=32)
+        lines = chart.splitlines()
+        top_data = lines[1]
+        assert "D" in top_data  # 6e7 is the maximum
+
+    def test_log_scale_spreads_small_values(self):
+        linear = render_chart(make_result(), height=10, width=32)
+        log = render_chart(make_result(), height=10, width=32, log_y=True)
+        # in linear space 1e6 and 2e6 collapse onto the bottom row;
+        # in log space they separate
+        def row_of(chart, glyph):
+            rows = [i for i, line in enumerate(chart.splitlines()) if glyph in line]
+            return rows
+
+        assert log != linear
+
+    def test_restart_metric(self):
+        chart = render_chart(make_result(), metric="restart_ratio", height=6, width=24)
+        assert "restart ratio" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_chart(make_result(), metric="latency")
+        with pytest.raises(ValueError):
+            render_chart(make_result(), height=2)
+        with pytest.raises(ValueError):
+            render_chart(ExperimentResult("empty", "x"))
+
+    def test_collision_marker(self):
+        result = ExperimentResult("demo", "x")
+        a, b = Series("alpha"), Series("beta")
+        a.points.append(Point(1.0, stat(5.0), stat(0.0), 0, 0))
+        b.points.append(Point(1.0, stat(5.0), stat(0.0), 0, 0))
+        result.series = {"alpha": a, "beta": b}
+        chart = render_chart(result, height=6, width=24)
+        assert "*" in chart

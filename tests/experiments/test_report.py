@@ -1,0 +1,51 @@
+"""Tests for result rendering (repro.experiments.report)."""
+
+from repro.experiments.report import format_csv, format_overheads, format_table
+from repro.experiments.sweeps import ExperimentResult, Point, Series
+from repro.sim.metrics import SummaryStat
+
+
+def stat(mean):
+    return SummaryStat(mean, 1.0, 10, 0.5)
+
+
+def sample_result():
+    result = ExperimentResult("figX", "knob")
+    fm = Series("f-matrix")
+    fm.points.append(Point(2.0, stat(1_000_000.0), stat(0.5), 1e7, 100))
+    fm.points.append(Point(4.0, stat(2_000_000.0), stat(1.5), 2e7, 200))
+    dc = Series("datacycle")
+    dc.points.append(Point(2.0, stat(3_000_000.0), stat(2.0), 3e7, 300))
+    result.series = {"f-matrix": fm, "datacycle": dc}
+    return result
+
+
+class TestFormatTable:
+    def test_includes_all_points(self):
+        text = format_table(sample_result())
+        assert "figX" in text and "knob" in text
+        assert "1.000" in text and "2.000" in text and "3.000" in text
+
+    def test_missing_points_dashed(self):
+        text = format_table(sample_result())
+        assert "—" in text  # datacycle has no x=4 point
+
+    def test_restart_section_optional(self):
+        text = format_table(sample_result(), restarts=False)
+        assert "restart ratio" not in text
+
+
+class TestFormatCsv:
+    def test_rows_and_header(self):
+        text = format_csv(sample_result())
+        lines = text.strip().split("\n")
+        assert lines[0].startswith("experiment,protocol,x,")
+        assert len(lines) == 4  # header + 3 points
+        assert "figX,f-matrix,2,1000000.0" in text
+
+
+class TestFormatOverheads:
+    def test_percentages(self):
+        text = format_overheads({"f-matrix": 0.2266, "r-matrix": 0.001})
+        assert "22.66%" in text
+        assert "0.10%" in text

@@ -1,0 +1,63 @@
+"""Tests for the sensitivity harness (repro.experiments.sensitivity)."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    VARIANTS,
+    SensitivityRow,
+    Variant,
+    sensitivity_table,
+)
+from repro.sim.config import SimulationConfig
+
+
+def tiny_config(**overrides):
+    params = dict(
+        num_objects=30,
+        num_client_transactions=10,
+        client_txn_length=3,
+        server_txn_length=4,
+        object_size_bits=512,
+        seed=5,
+    )
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+class TestVariants:
+    def test_registry_covers_design_doc(self):
+        names = {v.name for v in VARIANTS}
+        assert names == {
+            "deterministic-gaps",
+            "delay-first-op",
+            "modulo-timestamps",
+        }
+
+    def test_apply_produces_changed_config(self):
+        base = tiny_config()
+        for variant in VARIANTS:
+            changed = variant.apply(base)
+            assert changed != base
+
+
+class TestSensitivityTable:
+    def test_rows_per_variant(self):
+        rows = sensitivity_table(tiny_config(), replications=2)
+        assert len(rows) == len(VARIANTS)
+        for row in rows:
+            assert row.baseline_mean > 0 and row.variant_mean > 0
+
+    def test_modulo_is_exactly_equivalent(self):
+        rows = sensitivity_table(tiny_config(), replications=2)
+        by_name = {r.variant: r for r in rows}
+        assert by_name["modulo-timestamps"].relative_deviation == 0.0
+
+    def test_custom_variant_list(self):
+        noop = Variant("noop", "no change at all", lambda cfg: cfg)
+        rows = sensitivity_table(tiny_config(), variants=[noop], replications=2)
+        (row,) = rows
+        assert row.relative_deviation == 0.0
+
+    def test_relative_deviation_zero_baseline(self):
+        row = SensitivityRow("x", "d", 0.0, 5.0)
+        assert row.relative_deviation == 0.0

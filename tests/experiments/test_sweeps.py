@@ -1,0 +1,84 @@
+"""Tests for the sweep machinery (repro.experiments.sweeps)."""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.experiments.sweeps import run_sweep
+
+
+def tiny_base(**overrides):
+    params = dict(
+        num_objects=30,
+        num_client_transactions=10,
+        client_txn_length=3,
+        server_txn_length=4,
+        object_size_bits=512,
+        seed=2,
+    )
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+class TestRunSweep:
+    def test_grid_shape(self):
+        result = run_sweep(
+            "demo",
+            "x",
+            tiny_base(),
+            "client_txn_length",
+            [2, 3],
+            ["f-matrix", "datacycle"],
+        )
+        assert set(result.series) == {"f-matrix", "datacycle"}
+        for series in result.series.values():
+            assert series.xs == (2.0, 3.0)
+            assert all(m > 0 for m in series.response_means)
+
+    def test_skip_hook(self):
+        result = run_sweep(
+            "demo",
+            "x",
+            tiny_base(),
+            "client_txn_length",
+            [2, 3],
+            ["datacycle"],
+            skip=lambda protocol, value: value == 3,
+        )
+        assert result.series["datacycle"].xs == (2.0,)
+
+    def test_config_hook(self):
+        seen = []
+
+        def hook(cfg, value):
+            seen.append(value)
+            return cfg.replace(object_size_bits=int(value))
+
+        run_sweep(
+            "demo", "bits", tiny_base(), "object_size_bits", [256, 512],
+            ["f-matrix"], config_hook=hook,
+        )
+        assert seen == [256, 512]
+
+    def test_progress_callback(self):
+        calls = []
+        run_sweep(
+            "demo", "x", tiny_base(), "client_txn_length", [2],
+            ["f-matrix"], progress=lambda p, v, r: calls.append((p, v)),
+        )
+        assert calls == [("f-matrix", 2)]
+
+    def test_series_lookup(self):
+        result = run_sweep(
+            "demo", "x", tiny_base(), "client_txn_length", [2, 3], ["f-matrix"]
+        )
+        series = result.series["f-matrix"]
+        assert series.response_at(2) == series.points[0].response_time.mean
+        assert series.restart_at(3) == series.points[1].restart_ratio.mean
+        with pytest.raises(KeyError):
+            series.response_at(99)
+
+    def test_ordering_holds_helper(self):
+        result = run_sweep(
+            "demo", "x", tiny_base(), "client_txn_length", [3], ["f-matrix"]
+        )
+        assert result.ordering_holds(3, "f-matrix", "f-matrix")

@@ -1,0 +1,116 @@
+"""Tests for the lock manager (repro.server.locks)."""
+
+import pytest
+
+from repro.server.locks import DeadlockError, LockManager, LockMode
+
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+
+
+class TestGranting:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        assert lm.acquire("a", 1, S)
+        assert lm.acquire("b", 1, S)
+        assert lm.holds("a", 1, S) and lm.holds("b", 1, S)
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager()
+        assert lm.acquire("a", 1, X)
+        assert not lm.acquire("b", 1, S)
+
+    def test_shared_blocks_exclusive(self):
+        lm = LockManager()
+        assert lm.acquire("a", 1, S)
+        assert not lm.acquire("b", 1, X)
+
+    def test_reentrant(self):
+        lm = LockManager()
+        assert lm.acquire("a", 1, X)
+        assert lm.acquire("a", 1, X)
+        assert lm.acquire("a", 1, S)  # X covers S
+
+    def test_upgrade_when_sole_holder(self):
+        lm = LockManager()
+        assert lm.acquire("a", 1, S)
+        assert lm.acquire("a", 1, X)
+        assert lm.holds("a", 1, X)
+
+    def test_upgrade_blocked_by_other_sharer(self):
+        lm = LockManager()
+        assert lm.acquire("a", 1, S)
+        assert lm.acquire("b", 1, S)
+        assert not lm.acquire("a", 1, X)
+
+    def test_fifo_fairness(self):
+        # b queued for X; c's later S request must not starve b
+        lm = LockManager()
+        assert lm.acquire("a", 1, S)
+        assert not lm.acquire("b", 1, X)
+        assert not lm.acquire("c", 1, S)
+        granted = lm.release_all("a")
+        assert ("b", 1) in granted
+        assert lm.holds("b", 1, X)
+        assert not lm.holds("c", 1, S)
+
+
+class TestRelease:
+    def test_release_grants_waiters(self):
+        lm = LockManager()
+        lm.acquire("a", 1, X)
+        lm.acquire("b", 1, S)
+        lm.acquire("c", 1, S)
+        granted = lm.release_all("a")
+        assert set(granted) == {("b", 1), ("c", 1)}  # both sharers drain
+
+    def test_release_clears_queue_entries(self):
+        lm = LockManager()
+        lm.acquire("a", 1, X)
+        lm.acquire("b", 1, X)
+        lm.release_all("b")  # b gives up while queued
+        granted = lm.release_all("a")
+        assert granted == []
+
+    def test_release_unknown_txn_harmless(self):
+        lm = LockManager()
+        assert lm.release_all("ghost") == []
+
+
+class TestDeadlock:
+    def test_simple_cycle_detected(self):
+        lm = LockManager()
+        lm.acquire("a", 1, X)
+        lm.acquire("b", 2, X)
+        assert not lm.acquire("a", 2, X)  # a waits on b
+        with pytest.raises(DeadlockError) as err:
+            lm.acquire("b", 1, X)  # b waits on a: cycle
+        assert {err.value.victim} <= {"a", "b"}
+
+    def test_victim_is_youngest(self):
+        lm = LockManager()
+        lm.register("a")  # older
+        lm.register("b")
+        lm.acquire("a", 1, X)
+        lm.acquire("b", 2, X)
+        lm.acquire("a", 2, X)
+        with pytest.raises(DeadlockError) as err:
+            lm.acquire("b", 1, X)
+        assert err.value.victim == "b"
+
+    def test_three_way_cycle(self):
+        lm = LockManager()
+        for txn, obj in (("a", 1), ("b", 2), ("c", 3)):
+            lm.acquire(txn, obj, X)
+        lm.acquire("a", 2, X)
+        lm.acquire("b", 3, X)
+        with pytest.raises(DeadlockError) as err:
+            lm.acquire("c", 1, X)
+        assert len(set(err.value.cycle)) == 3
+
+    def test_no_false_positives(self):
+        lm = LockManager()
+        lm.acquire("a", 1, X)
+        assert not lm.acquire("b", 1, X)
+        assert not lm.acquire("c", 1, X)  # chain, not cycle
+        graph = lm.waits_for()
+        assert "a" not in graph

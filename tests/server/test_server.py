@@ -1,0 +1,122 @@
+"""Tests for the broadcast server (repro.server.server)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cycles import ModuloCycles
+from repro.core.group_matrix import uniform_partition
+from repro.server.server import BroadcastServer
+from repro.server.validation import UpdateSubmission
+
+
+class TestSnapshots:
+    def test_fmatrix_snapshot_carries_matrix(self):
+        server = BroadcastServer(3, "f-matrix")
+        bc = server.begin_cycle(1)
+        assert bc.snapshot.matrix is not None
+        assert bc.snapshot.vector is None
+
+    def test_vector_protocol_snapshot(self):
+        for protocol in ("r-matrix", "datacycle"):
+            server = BroadcastServer(3, protocol)
+            bc = server.begin_cycle(1)
+            assert bc.snapshot.vector is not None
+            assert bc.snapshot.matrix is None
+
+    def test_grouped_snapshot(self):
+        part = uniform_partition(4, 2)
+        server = BroadcastServer(4, "group-matrix", partition=part)
+        bc = server.begin_cycle(1)
+        assert bc.snapshot.grouped is not None
+        assert bc.snapshot.grouped.shape == (4, 2)
+        assert bc.snapshot.partition is part
+
+    def test_group_matrix_requires_partition(self):
+        with pytest.raises(ValueError):
+            BroadcastServer(4, "group-matrix")
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            BroadcastServer(4, "nonsense")
+
+    def test_mid_cycle_commits_invisible_until_next_cycle(self):
+        server = BroadcastServer(2, "f-matrix")
+        bc1 = server.begin_cycle(1)
+        server.commit_update("t1", [], {0: "new"}, cycle=1)
+        # the cycle-1 image is frozen
+        assert bc1.version(0).value == 0
+        assert bc1.snapshot.matrix[0, 0] == 0
+        bc2 = server.begin_cycle(2)
+        assert bc2.version(0).value == "new"
+        assert bc2.snapshot.matrix[0, 0] == 1
+
+    def test_cycles_must_advance(self):
+        server = BroadcastServer(2, "f-matrix")
+        server.begin_cycle(1)
+        with pytest.raises(ValueError):
+            server.begin_cycle(1)
+
+    def test_modulo_snapshot_encoded(self):
+        server = BroadcastServer(2, "f-matrix", arithmetic=ModuloCycles(2))
+        server.commit_update("t1", [], {0: "x"}, cycle=5)  # 5 mod 4 = 1
+        bc = server.begin_cycle(6)
+        assert bc.snapshot.matrix[0, 0] == 1
+
+
+class TestCommitUpdate:
+    def test_updates_all_control_structures(self):
+        server = BroadcastServer(2, "f-matrix")
+        server.begin_cycle(1)
+        server.commit_update("t1", [], {0: "v"})
+        assert server.vector.entry(0) == 1
+        assert server.matrix.entry(0, 0) == 1
+        assert server.database.committed(0).value == "v"
+
+    def test_default_cycle_is_current(self):
+        server = BroadcastServer(2, "r-matrix")
+        server.begin_cycle(3)
+        record = server.commit_update("t1", [], {0: "v"})
+        assert record.commit_cycle == 3
+
+
+class TestClientUpdatePath:
+    def test_accept_and_install(self):
+        server = BroadcastServer(2, "f-matrix")
+        server.begin_cycle(1)
+        outcome = server.submit_client_update(
+            UpdateSubmission("u1", reads=((0, 1),), writes=((0, "bid"),))
+        )
+        assert outcome.committed
+        assert server.database.committed(0).value == "bid"
+        assert server.database.commit_log[-1].txn == "u1"
+
+    def test_reject_stale_and_do_not_install(self):
+        server = BroadcastServer(2, "f-matrix")
+        server.begin_cycle(1)
+        server.commit_update("t1", [], {0: "newer"})
+        outcome = server.submit_client_update(
+            UpdateSubmission("u1", reads=((0, 1),), writes=((0, "bid"),))
+        )
+        assert not outcome.committed
+        assert server.database.committed(0).value == "newer"
+
+    def test_serialization_order_preserved_with_mixed_sources(self):
+        from repro.core.serialgraph import is_conflict_serializable
+        from repro.sim.trace import TraceRecorder
+
+        server = BroadcastServer(3, "f-matrix")
+        server.begin_cycle(1)
+        server.commit_update("s1", [0], {1: "a"})
+        server.begin_cycle(2)
+        out1 = server.submit_client_update(
+            UpdateSubmission("u1", reads=((1, 2),), writes=((2, "b"),))
+        )
+        server.begin_cycle(3)
+        out2 = server.submit_client_update(
+            UpdateSubmission("u2", reads=((2, 3),), writes=((0, "c"),))
+        )
+        assert out1.committed and out2.committed
+        trace = TraceRecorder()
+        history = trace.build_history(server.database)
+        assert is_conflict_serializable(history)
+        assert [r.txn for r in server.database.commit_log] == ["s1", "u1", "u2"]

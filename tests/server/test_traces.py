@@ -1,0 +1,116 @@
+"""Tests for recordable workload traces (repro.server.traces)."""
+
+import pytest
+
+from repro.server.traces import TraceWorkload, WorkloadTrace, record_trace
+from repro.server.workload import ClientWorkload
+
+
+class TestWorkloadTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(0, ((0,),))
+        with pytest.raises(ValueError):
+            WorkloadTrace(4, ())
+        with pytest.raises(ValueError):
+            WorkloadTrace(4, ((),))
+        with pytest.raises(ValueError):
+            WorkloadTrace(4, ((0, 0),))
+        with pytest.raises(ValueError):
+            WorkloadTrace(4, ((5,),))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = WorkloadTrace(6, ((0, 1), (3, 2, 5)), description="demo")
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = WorkloadTrace.load(path)
+        assert loaded == trace
+        assert loaded.description == "demo"
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99}')
+        with pytest.raises(ValueError):
+            WorkloadTrace.load(path)
+
+
+class TestRecordTrace:
+    def test_records_generator_output(self):
+        generator = ClientWorkload(10, length=3, seed=4)
+        trace = record_trace(generator, 5)
+        assert len(trace) == 5
+        assert trace.num_objects == 10
+        # replaying from the same seed reproduces the recorded sets
+        again = ClientWorkload(10, length=3, seed=4)
+        for read_set in trace.read_sets:
+            assert read_set == tuple(again.next_transaction()[1])
+
+    def test_needs_positive_count(self):
+        with pytest.raises(ValueError):
+            record_trace(ClientWorkload(10), 0)
+
+
+class TestTraceWorkload:
+    def test_replays_in_order(self):
+        trace = WorkloadTrace(6, ((0, 1), (2, 3), (4, 5)))
+        replay = TraceWorkload(trace)
+        assert replay.next_read_set() == (0, 1)
+        assert replay.next_read_set() == (2, 3)
+        tid, objs = replay.next_transaction()
+        assert objs == (4, 5) and tid == "c3"
+
+    def test_wraps_around(self):
+        trace = WorkloadTrace(4, ((0,), (1,)))
+        replay = TraceWorkload(trace)
+        seen = [replay.next_read_set() for _ in range(5)]
+        assert seen == [(0,), (1,), (0,), (1,), (0,)]
+        assert replay.wraps == 2
+
+    def test_fair_cross_protocol_comparison(self):
+        """The point of traces: identical read sequences across protocols."""
+        from repro.sim.config import SimulationConfig
+        from repro.sim.simulation import BroadcastSimulation
+
+        generator = ClientWorkload(30, length=3, seed=9)
+        trace = record_trace(generator, 15)
+        results = {}
+        for protocol in ("datacycle", "f-matrix"):
+            cfg = SimulationConfig(
+                protocol=protocol,
+                num_objects=30,
+                num_client_transactions=15,
+                client_txn_length=3,
+                server_txn_length=4,
+                object_size_bits=512,
+                seed=9,
+            )
+            sim = BroadcastSimulation(
+                cfg,
+                collect_trace=True,
+                client_workloads=[TraceWorkload(trace)],
+            )
+            results[protocol] = sim.run()
+        # both protocols processed the same transactions' read sets
+        for a, b in zip(
+            results["datacycle"].trace.client_commits,
+            results["f-matrix"].trace.client_commits,
+        ):
+            assert tuple(v.obj for v in a.versions) == tuple(
+                v.obj for v in b.versions
+            )
+
+    def test_workload_count_validated(self):
+        from repro.sim.config import SimulationConfig
+        from repro.sim.simulation import BroadcastSimulation
+
+        cfg = SimulationConfig(
+            num_objects=10,
+            num_client_transactions=3,
+            client_txn_length=2,
+            server_txn_length=2,
+            num_clients=2,
+            object_size_bits=256,
+        )
+        trace = WorkloadTrace(10, ((0, 1),))
+        with pytest.raises(ValueError):
+            BroadcastSimulation(cfg, client_workloads=[TraceWorkload(trace)])

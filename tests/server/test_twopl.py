@@ -1,0 +1,142 @@
+"""Tests for the strict-2PL executor (repro.server.twopl)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.serialgraph import (
+    conflict_serialization_order,
+    is_conflict_serializable,
+)
+from repro.server.database import Database
+from repro.server.twopl import TransactionProgram, TwoPLExecutor
+
+
+def program(tid, *steps):
+    return TransactionProgram(tid, tuple(steps))
+
+
+class TestBasics:
+    def test_single_transaction(self):
+        db = Database(2)
+        result = TwoPLExecutor(db).run([program("t1", ("r", 0), ("w", 1))])
+        assert result.commit_order == ("t1",)
+        assert db.committed(1).writer == "t1"
+        assert result.read_values["t1"][0] == 0  # initial value
+
+    def test_program_validation(self):
+        with pytest.raises(ValueError):
+            program("t", ("q", 0))
+        with pytest.raises(ValueError):
+            program("t", ("r", -1))
+
+    def test_duplicate_tids_rejected(self):
+        db = Database(1)
+        with pytest.raises(ValueError):
+            TwoPLExecutor(db).run([program("t", ("r", 0)), program("t", ("r", 0))])
+
+    def test_own_writes_visible(self):
+        db = Database(1)
+        executor = TwoPLExecutor(db, value_fn=lambda tid, obj, att: "mine")
+        result = executor.run([program("t1", ("w", 0), ("r", 0))])
+        assert result.read_values["t1"][0] == "mine"
+
+    def test_commit_cycle_mapping(self):
+        db = Database(1)
+        executor = TwoPLExecutor(db, cycle_of_commit=lambda seq: seq * 10)
+        executor.run([program("a", ("w", 0)), program("b", ("r", 0))])
+        assert db.commit_log[0].commit_cycle == 10
+        assert db.committed(0).commit_cycle == 10
+
+
+class TestConflictSerializability:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_interleavings_serializable(self, seed):
+        rng = random.Random(seed)
+        db = Database(4)
+        programs = []
+        for t in range(5):
+            steps = []
+            for obj in rng.sample(range(4), rng.randint(1, 4)):
+                steps.append(("r" if rng.random() < 0.5 else "w", obj))
+            programs.append(program(f"t{t}", *steps))
+        result = TwoPLExecutor(db).run(programs, rng=rng)
+        assert is_conflict_serializable(result.history)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_commit_order_is_serialization_order(self, seed):
+        """Strict 2PL: commit order must be a valid serialization order."""
+        rng = random.Random(seed + 100)
+        db = Database(3)
+        programs = [
+            program(f"t{t}", *[
+                ("r" if rng.random() < 0.5 else "w", obj)
+                for obj in rng.sample(range(3), rng.randint(1, 3))
+            ])
+            for t in range(4)
+        ]
+        result = TwoPLExecutor(db).run(programs, rng=rng)
+        # commit order must topologically satisfy the conflict graph
+        from repro.core.serialgraph import conflict_graph
+
+        graph = conflict_graph(result.history)
+        position = {tid: i for i, tid in enumerate(result.commit_order)}
+        for src, dst in graph.edges:
+            assert position[src] < position[dst], (
+                f"conflict edge {src}->{dst} violates commit order "
+                f"{result.commit_order}"
+            )
+
+    def test_deadlock_resolved_by_restart(self):
+        # classic crossing writes: t1 locks 0 then wants 1; t2 locks 1
+        # then wants 0 — round-robin drives them into deadlock
+        db = Database(2)
+        result = TwoPLExecutor(db).run(
+            [
+                program("t1", ("w", 0), ("w", 1)),
+                program("t2", ("w", 1), ("w", 0)),
+            ]
+        )
+        assert set(result.commit_order) == {"t1", "t2"}
+        assert sum(result.restarts.values()) >= 1
+        assert is_conflict_serializable(result.history)
+
+    def test_aborted_attempt_ops_dropped_from_history(self):
+        db = Database(2)
+        result = TwoPLExecutor(db).run(
+            [
+                program("t1", ("w", 0), ("w", 1)),
+                program("t2", ("w", 1), ("w", 0)),
+            ]
+        )
+        # each transaction's committed attempt has exactly 2 writes + commit
+        for tid in ("t1", "t2"):
+            ops = [op for op in result.history if op.txn == tid]
+            assert len(ops) == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_property_all_executions_serializable(data):
+    num_objects = data.draw(st.integers(2, 4))
+    num_txns = data.draw(st.integers(2, 5))
+    programs = []
+    for t in range(num_txns):
+        objs = data.draw(
+            st.lists(
+                st.integers(0, num_objects - 1),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            )
+        )
+        steps = tuple(
+            ("r" if data.draw(st.booleans()) else "w", obj) for obj in objs
+        )
+        programs.append(TransactionProgram(f"t{t}", steps))
+    seed = data.draw(st.integers(0, 10_000))
+    db = Database(num_objects)
+    result = TwoPLExecutor(db).run(programs, rng=random.Random(seed))
+    assert is_conflict_serializable(result.history)
+    assert len(result.commit_order) == num_txns

@@ -1,0 +1,123 @@
+"""Tests for workload generators (repro.server.workload)."""
+
+import itertools
+
+import pytest
+
+from repro.server.workload import (
+    ClientUpdateWorkload,
+    ClientWorkload,
+    ServerWorkload,
+)
+
+
+class TestServerWorkload:
+    def test_length_and_uniqueness(self):
+        wl = ServerWorkload(20, length=8, seed=1)
+        for spec in itertools.islice(wl, 50):
+            accessed = spec.read_set + spec.write_set
+            assert len(accessed) == 8
+            assert len(set(accessed)) == 8  # no repeats
+
+    def test_read_probability_extremes(self):
+        all_reads = ServerWorkload(10, length=4, read_probability=1.0, seed=2)
+        spec = all_reads.next_transaction()
+        assert not spec.write_set and not spec.is_update
+        all_writes = ServerWorkload(10, length=4, read_probability=0.0, seed=2)
+        spec = all_writes.next_transaction()
+        assert not spec.read_set and spec.is_update
+
+    def test_read_probability_roughly_respected(self):
+        wl = ServerWorkload(40, length=10, read_probability=0.5, seed=3)
+        reads = sum(len(s.read_set) for s in itertools.islice(wl, 200))
+        assert 800 < reads < 1200  # ~1000 expected
+
+    def test_deterministic_by_seed(self):
+        a = [ServerWorkload(10, seed=7).next_transaction() for _ in range(3)]
+        b = [ServerWorkload(10, seed=7).next_transaction() for _ in range(3)]
+        # fresh generators with the same seed agree
+        a2 = ServerWorkload(10, seed=7)
+        b2 = ServerWorkload(10, seed=7)
+        assert [a2.next_transaction() for _ in range(3)] == [
+            b2.next_transaction() for _ in range(3)
+        ]
+
+    def test_ids_unique(self):
+        wl = ServerWorkload(10, seed=0)
+        tids = {wl.next_transaction().tid for _ in range(10)}
+        assert len(tids) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerWorkload(4, length=5)
+        with pytest.raises(ValueError):
+            ServerWorkload(4, length=0)
+        with pytest.raises(ValueError):
+            ServerWorkload(4, read_probability=1.5)
+
+
+class TestClientWorkload:
+    def test_read_sets(self):
+        wl = ClientWorkload(10, length=4, seed=1)
+        for _ in range(20):
+            tid, objs = wl.next_transaction()
+            assert len(objs) == 4 and len(set(objs)) == 4
+            assert all(0 <= o < 10 for o in objs)
+
+    def test_uniform_coverage(self):
+        wl = ClientWorkload(5, length=1, seed=2)
+        seen = {wl.next_read_set()[0] for _ in range(200)}
+        assert seen == set(range(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientWorkload(3, length=4)
+        with pytest.raises(ValueError):
+            ClientWorkload(10, access_skew=1.5)
+        with pytest.raises(ValueError):
+            ClientWorkload(10, hot_fraction=0.0)
+
+    def test_skewed_access_prefers_hot_set(self):
+        wl = ClientWorkload(100, length=4, seed=5, access_skew=0.9, hot_fraction=0.1)
+        assert wl.hot_set_size == 10
+        hot_reads = 0
+        total = 0
+        for _ in range(200):
+            for obj in wl.next_read_set():
+                total += 1
+                if obj < wl.hot_set_size:
+                    hot_reads += 1
+        assert hot_reads / total > 0.6  # ~0.9 requested, minus exhaustion
+
+    def test_skewed_reads_still_unique(self):
+        wl = ClientWorkload(20, length=5, seed=6, access_skew=0.9, hot_fraction=0.1)
+        for _ in range(50):
+            objs = wl.next_read_set()
+            assert len(set(objs)) == len(objs) == 5
+
+    def test_skew_exhausts_hot_set_gracefully(self):
+        # hot set smaller than the transaction length: falls back to cold
+        wl = ClientWorkload(10, length=5, seed=7, access_skew=1.0, hot_fraction=0.1)
+        objs = wl.next_read_set()
+        assert len(set(objs)) == 5
+
+
+class TestClientUpdateWorkload:
+    def test_writes_subset_of_reads_plus_blind(self):
+        wl = ClientUpdateWorkload(10, length=4, write_fraction=0.5, seed=1)
+        for _ in range(20):
+            spec = wl.next_transaction()
+            non_blind = [w for w in spec.write_set if w in spec.read_set]
+            assert len(non_blind) >= 1
+
+    def test_blind_writes_optional(self):
+        wl = ClientUpdateWorkload(
+            10, length=2, blind_write_probability=1.0, seed=3
+        )
+        spec = wl.next_transaction()
+        blind = [w for w in spec.write_set if w not in spec.read_set]
+        assert len(blind) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientUpdateWorkload(10, write_fraction=0.0)

@@ -1,0 +1,79 @@
+"""Tests for metrics and confidence intervals (repro.sim.metrics)."""
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector, summarize
+
+
+class TestSummarize:
+    def test_mean_and_stddev(self):
+        stat = summarize([1.0, 2.0, 3.0])
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.stddev == pytest.approx(1.0)
+        assert stat.count == 3
+
+    def test_single_sample(self):
+        stat = summarize([7.0])
+        assert stat.mean == 7.0 and stat.ci_halfwidth == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ci_contains_mean_band(self):
+        stat = summarize([10.0, 12.0, 8.0, 11.0, 9.0])
+        low, high = stat.ci
+        assert low < stat.mean < high
+
+    def test_ci_relative_width(self):
+        stat = summarize([100.0] * 50)
+        assert stat.ci_relative_width == 0.0
+        stat2 = summarize([0.0, 0.0])
+        assert stat2.ci_relative_width == 0.0  # zero-mean guard
+
+    def test_ci_uses_t_distribution(self):
+        # t quantile for small dof exceeds the normal 1.96
+        stat = summarize([1.0, 2.0, 3.0])
+        se = stat.stddev / (3 ** 0.5)
+        assert stat.ci_halfwidth > 1.96 * se
+
+
+class TestMetricsCollector:
+    def _fill(self, collector, n=10):
+        for k in range(n):
+            collector.record_commit(f"t{k}", k * 100.0, k * 100.0 + 50 + k, restarts=k % 3)
+
+    def test_steady_state_trims_prefix(self):
+        m = MetricsCollector()
+        self._fill(m, 10)
+        window = m.steady_state(0.5)
+        assert len(window) == 5
+        assert window[0].tid == "t5"
+
+    def test_full_window(self):
+        m = MetricsCollector()
+        self._fill(m, 4)
+        assert len(m.steady_state(1.0)) == 4
+
+    def test_invalid_fraction(self):
+        m = MetricsCollector()
+        with pytest.raises(ValueError):
+            m.steady_state(0.0)
+
+    def test_response_time_summary(self):
+        m = MetricsCollector()
+        m.record_commit("a", 0.0, 100.0, 0)
+        m.record_commit("b", 50.0, 250.0, 1)
+        stat = m.response_time(1.0)
+        assert stat.mean == pytest.approx(150.0)
+
+    def test_restart_ratio_summary(self):
+        m = MetricsCollector()
+        m.record_commit("a", 0, 1, 2)
+        m.record_commit("b", 0, 1, 4)
+        assert m.restart_ratio(1.0).mean == pytest.approx(3.0)
+
+    def test_sample_response_time(self):
+        m = MetricsCollector()
+        m.record_commit("a", 10.0, 35.0, 0)
+        assert m.samples[0].response_time == 25.0

@@ -1,0 +1,116 @@
+"""Tests for history reconstruction (repro.sim.trace)."""
+
+import pytest
+
+from repro.broadcast.program import ObjectVersion
+from repro.core.model import T0
+from repro.server.server import BroadcastServer
+from repro.sim.trace import TraceRecorder
+
+
+def build_server():
+    server = BroadcastServer(3, "f-matrix")
+    server.begin_cycle(1)
+    server.commit_update("s1", [], {0: "a"}, cycle=1)
+    server.begin_cycle(2)
+    server.commit_update("s2", [0], {1: "b"}, cycle=2)
+    return server
+
+
+class TestBuildHistory:
+    def test_update_transactions_serial_in_commit_order(self):
+        server = build_server()
+        trace = TraceRecorder()
+        h = trace.build_history(server.database)
+        tids = [op.txn for op in h if op.is_commit]
+        assert tids == ["s1", "s2"]
+        assert h.update_subhistory().is_serial()
+
+    def test_reads_from_matches_provenance(self):
+        server = build_server()
+        trace = TraceRecorder()
+        trace.record_client_commit(
+            "r1",
+            versions=(ObjectVersion(0, "a", "s1", 1),),
+            reads=((0, 2),),
+        )
+        h = trace.build_history(server.database)
+        assert h.writer_of("r1", "0") == "s1"
+
+    def test_t0_versions_placed_first(self):
+        server = build_server()
+        trace = TraceRecorder()
+        trace.record_client_commit(
+            "r1",
+            versions=(ObjectVersion(2, 0, T0, 0),),
+            reads=((2, 1),),
+        )
+        h = trace.build_history(server.database)
+        assert h.writer_of("r1", "2") == T0
+
+    def test_read_placed_before_overwrite(self):
+        # the reader saw s1's version of object 0 although s2 later
+        # (hypothetically) overwrote it — reconstruction must preserve that
+        server = BroadcastServer(1, "f-matrix")
+        server.begin_cycle(1)
+        server.commit_update("s1", [], {0: "a"}, cycle=1)
+        server.begin_cycle(2)
+        server.commit_update("s2", [], {0: "b"}, cycle=2)
+        trace = TraceRecorder()
+        trace.record_client_commit(
+            "r1", versions=(ObjectVersion(0, "a", "s1", 1),), reads=((0, 2),)
+        )
+        h = trace.build_history(server.database)
+        assert h.writer_of("r1", "0") == "s1"
+
+    def test_unknown_writer_rejected(self):
+        server = build_server()
+        trace = TraceRecorder()
+        trace.record_client_commit(
+            "r1", versions=(ObjectVersion(0, "x", "ghost", 1),), reads=((0, 1),)
+        )
+        with pytest.raises(ValueError):
+            trace.build_history(server.database)
+
+    def test_read_cycles_annotated(self):
+        server = build_server()
+        trace = TraceRecorder()
+        trace.record_client_commit(
+            "r1", versions=(ObjectVersion(0, "a", "s1", 1),), reads=((0, 2),)
+        )
+        h = trace.build_history(server.database)
+        (read_op,) = [op for op in h if op.is_read and op.txn == "r1"]
+        assert read_op.cycle == 2
+
+
+class TestVerify:
+    def test_consistent_trace_accepted(self):
+        server = build_server()
+        trace = TraceRecorder()
+        trace.record_client_commit(
+            "r1",
+            versions=(
+                ObjectVersion(0, "a", "s1", 1),
+                ObjectVersion(1, "b", "s2", 2),
+            ),
+            reads=((0, 2), (1, 3)),
+        )
+        assert trace.verify(server.database).accepted
+
+    def test_inconsistent_trace_rejected(self):
+        """A reader observing s2's output (which read the *new* object 0)
+        together with the *old* object 0 must fail APPROX."""
+        server = BroadcastServer(2, "f-matrix")
+        server.begin_cycle(1)
+        old_version = ObjectVersion(0, 0, T0, 0)
+        server.commit_update("s1", [], {0: "a"}, cycle=1)
+        server.commit_update("s2", [0], {1: "b"}, cycle=1)
+        trace = TraceRecorder()
+        trace.record_client_commit(
+            "bad",
+            versions=(old_version, ObjectVersion(1, "b", "s2", 1)),
+            reads=((0, 1), (1, 2)),
+        )
+        report = trace.verify(server.database)
+        assert not report.accepted
+        assert "bad" in report.rejected_readers
