@@ -1,0 +1,25 @@
+# Development gates. `make check` is what CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test lint typecheck audit
+
+check: test lint typecheck
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.analysis.lint src/repro
+
+# mypy is optional tooling: run it when installed, skip loudly when not
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping typecheck (pip install -e .[check])"; \
+	fi
+
+audit:
+	$(PYTHON) -c "from repro.experiments.cli import audit_main; import sys; sys.exit(audit_main([]))"

@@ -1,0 +1,47 @@
+"""Static analysis: protocol invariant auditing and a repo-specific lint.
+
+Two independent layers share this package:
+
+* the **trace invariant auditor** (:mod:`repro.analysis.audit`,
+  :mod:`repro.analysis.invariants`) — a registry of machine-checkable
+  invariants run over recorded simulation traces and
+  :class:`repro.core.model.History` objects.  Deciding update consistency
+  is NP-complete and the shipped protocols are only *sufficient* tests, so
+  every audited run is independently cross-examined: control-matrix
+  monotonicity, matrix/broadcast-slot agreement, client-validation
+  soundness (APPROX + replay certificates), read/delta coherence, and
+  serialization-graph acyclicity, each violation reported as a structured
+  :class:`repro.analysis.diagnostics.Diagnostic` with a minimized witness;
+
+* the **custom lint pass** (:mod:`repro.analysis.lint`,
+  :mod:`repro.analysis.rules`) — AST rules enforcing the repo's own
+  correctness conventions (determinism, encapsulation of protocol state,
+  no float equality, mandatory ``__all__``), runnable as
+  ``python -m repro.analysis.lint``.
+
+Neither layer imports :mod:`repro.sim` at runtime, so the simulator can
+invoke the auditor without an import cycle.
+"""
+
+from .audit import (
+    AuditContext,
+    audit_context,
+    audit_history,
+    audit_simulation,
+    context_from_simulation,
+)
+from .diagnostics import AuditReport, Diagnostic
+from .invariants import INVARIANTS, invariant, invariant_ids
+
+__all__ = [
+    "AuditContext",
+    "AuditReport",
+    "Diagnostic",
+    "INVARIANTS",
+    "audit_context",
+    "audit_history",
+    "audit_simulation",
+    "context_from_simulation",
+    "invariant",
+    "invariant_ids",
+]

@@ -1,0 +1,27 @@
+"""Repo-specific lint rules.
+
+Importing this package registers every built-in rule in
+:data:`repro.analysis.rules.base.RULES`; the driver
+(:mod:`repro.analysis.lint`) only has to import :data:`RULES`.
+"""
+
+from __future__ import annotations
+
+from .base import RULES, Finding, LintRule, ModuleUnderLint, register
+from .determinism import NoUnseededRandomRule, NoWallClockRule
+from .encapsulation import NoForeignPrivateMutationRule
+from .exports import MandatoryAllRule
+from .floats import NoFloatEqualityRule
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintRule",
+    "ModuleUnderLint",
+    "register",
+    "NoWallClockRule",
+    "NoUnseededRandomRule",
+    "NoForeignPrivateMutationRule",
+    "NoFloatEqualityRule",
+    "MandatoryAllRule",
+]

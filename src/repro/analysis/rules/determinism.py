@@ -1,0 +1,150 @@
+"""Determinism rules: no wall-clock time, no unseeded randomness.
+
+Seeded runs must be bit-for-bit reproducible (ROADMAP's standing
+requirement; the benchmark suite asserts shapes on deterministic runs).
+Two things silently break that:
+
+* **wall-clock reads** inside the simulation kernel or the theory core —
+  simulated time is the only clock those layers may consult;
+* **module-level RNG state** (``random.random()``, ``np.random.*``) —
+  every random draw must come from a :class:`random.Random` (or seeded
+  numpy generator) instance whose seed descends from
+  ``SimulationConfig.seed``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Finding, LintRule, ModuleUnderLint, register
+
+__all__ = ["NoWallClockRule", "NoUnseededRandomRule"]
+
+_WALLCLOCK_TIME_ATTRS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "clock",
+}
+_WALLCLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+_DATETIME_OWNERS = {"datetime", "date"}
+
+#: the one blessed attribute of the ``random`` module: the seedable class
+_SEEDED_RANDOM_ATTRS = {"Random", "SystemRandom"}
+#: numpy.random attributes that produce (seedable) generator objects
+_SEEDED_NP_RANDOM_ATTRS = {"Generator", "default_rng", "SeedSequence", "PCG64"}
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """The right-most identifier of a Name/Attribute chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+@register
+class NoWallClockRule(LintRule):
+    """No wall-clock reads inside the simulator kernel or theory core."""
+
+    rule_id = "REP001"
+    description = (
+        "no wall-clock time (time.time, datetime.now, ...) inside repro/sim "
+        "or repro/core: simulated bit-time is the only clock there"
+    )
+    scopes = ("repro/sim/", "repro/core/")
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                owner = _terminal_name(node.value)
+                if owner == "time" and node.attr in _WALLCLOCK_TIME_ATTRS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"wall-clock call time.{node.attr} breaks simulation "
+                        "determinism; use the simulator clock",
+                    )
+                elif (
+                    owner in _DATETIME_OWNERS
+                    and node.attr in _WALLCLOCK_DATETIME_ATTRS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"wall-clock call {owner}.{node.attr} breaks "
+                        "simulation determinism; use the simulator clock",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALLCLOCK_TIME_ATTRS:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"importing {alias.name} from time invites "
+                            "wall-clock reads; use the simulator clock",
+                        )
+
+
+@register
+class NoUnseededRandomRule(LintRule):
+    """All randomness must flow through seeded generator instances."""
+
+    rule_id = "REP002"
+    description = (
+        "no module-level RNG (random.random(), np.random.*): draw from a "
+        "random.Random seeded via SimulationConfig.seed"
+    )
+    scopes = (
+        "repro/sim/",
+        "repro/core/",
+        "repro/server/",
+        "repro/client/",
+        "repro/broadcast/",
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "random"
+                    and not node.attr.startswith("_")
+                    and node.attr not in _SEEDED_RANDOM_ATTRS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"random.{node.attr} uses the shared module-level RNG; "
+                        "use a random.Random instance seeded from the config",
+                    )
+                elif (
+                    isinstance(node.value, ast.Attribute)
+                    and node.value.attr == "random"
+                    and isinstance(node.value.value, ast.Name)
+                    and node.value.value.id in ("np", "numpy")
+                    and node.attr not in _SEEDED_NP_RANDOM_ATTRS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{node.value.value.id}.random.{node.attr} uses numpy's "
+                        "global RNG; use numpy.random.default_rng(seed)",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _SEEDED_RANDOM_ATTRS:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"importing {alias.name} from random pulls in the "
+                            "shared module-level RNG; import random.Random and "
+                            "seed it from the config",
+                        )

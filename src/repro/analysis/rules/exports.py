@@ -1,0 +1,52 @@
+"""Public-surface rule: every module declares ``__all__``.
+
+The repo's convention (and what keeps ``from repro.core import *``-style
+re-exports and the docs honest): each module states its public surface
+explicitly.  A module without ``__all__`` leaks helpers into wildcard
+imports and makes API-compatibility review guesswork.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Finding, LintRule, ModuleUnderLint, register
+
+__all__ = ["MandatoryAllRule"]
+
+
+@register
+class MandatoryAllRule(LintRule):
+    """Every module must assign ``__all__`` at module level."""
+
+    rule_id = "REP005"
+    description = "every public module must declare __all__"
+    scopes = ()  # whole tree
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                if any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in node.targets
+                ):
+                    return
+            elif isinstance(node, ast.AnnAssign):
+                if (
+                    isinstance(node.target, ast.Name)
+                    and node.target.id == "__all__"
+                ):
+                    return
+            elif isinstance(node, ast.AugAssign):
+                if (
+                    isinstance(node.target, ast.Name)
+                    and node.target.id == "__all__"
+                ):
+                    return
+        yield self.finding(
+            module,
+            module.tree,
+            "module does not declare __all__; state the public surface "
+            "explicitly",
+        )

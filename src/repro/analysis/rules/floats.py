@@ -1,0 +1,62 @@
+"""Float-equality rule.
+
+Validator read conditions compare integer cycle timestamps; a float
+literal slipping into an ``==``/``!=`` there (or anywhere in the
+protocol stack) is almost always a latent bug — bit-time arithmetic
+accumulates rounding, so exact float comparison silently flips protocol
+decisions.  Compare integers, or use an explicit tolerance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Finding, LintRule, ModuleUnderLint, register
+
+__all__ = ["NoFloatEqualityRule"]
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # unary minus on a float literal: -1.5
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, float)
+    ):
+        return True
+    return False
+
+
+@register
+class NoFloatEqualityRule(LintRule):
+    """No ``==`` / ``!=`` against float literals."""
+
+    rule_id = "REP004"
+    description = (
+        "no float-literal equality (== / != with a float operand): exact "
+        "float comparison flips validator decisions; compare ints or use a "
+        "tolerance"
+    )
+    scopes = ()  # whole tree
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield self.finding(
+                        module,
+                        node,
+                        "equality comparison against a float literal; exact "
+                        "float == is unreliable in validators — compare "
+                        "integers or use an explicit tolerance",
+                    )
+                    break

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["CycleArithmetic", "UnboundedCycles", "ModuloCycles"]
 
 
@@ -29,7 +31,7 @@ class CycleArithmetic:
     def encode(self, cycle: int) -> int:
         raise NotImplementedError
 
-    def encode_array(self, cycles):
+    def encode_array(self, cycles: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`encode` for numpy arrays (returns a copy)."""
         raise NotImplementedError
 
@@ -56,7 +58,7 @@ class UnboundedCycles(CycleArithmetic):
     def encode(self, cycle: int) -> int:
         return cycle
 
-    def encode_array(self, cycles):
+    def encode_array(self, cycles: np.ndarray) -> np.ndarray:
         return cycles.copy()
 
     def less(self, a: int, b: int, *, reference: int) -> bool:
@@ -83,7 +85,7 @@ class ModuloCycles(CycleArithmetic):
     def encode(self, cycle: int) -> int:
         return cycle % self.window
 
-    def encode_array(self, cycles):
+    def encode_array(self, cycles: np.ndarray) -> np.ndarray:
         return cycles % self.window
 
     def _anchor(self, encoded: int, reference: int) -> int:

@@ -22,12 +22,14 @@ from .legality import legality_report
 from .model import History
 from .readsfrom import live_set
 from .serialgraph import conflict_graph
+from typing import Sequence
+
 from .viewser import ViewSerializabilityLimitError
 
 __all__ = ["explain_history"]
 
 
-def _fmt_order(order) -> str:
+def _fmt_order(order: "Sequence[str]") -> str:
     return " ; ".join(order)
 
 

@@ -48,11 +48,11 @@ class _LatchBase:
         self.latch = False
         self.first_read_cycle: Optional[int] = None
         self._read_objects: Set[int] = set()
-        self._read_cycles: dict = {}
+        self._read_cycles: Dict[int, int] = {}
         self._last_seen_cycle = 0
 
     @property
-    def reads(self):
+    def reads(self) -> List[Tuple[int, int]]:
         """(obj, cycle) pairs, for interface parity with ReadValidator."""
         return sorted(self._read_cycles.items())
 

@@ -38,7 +38,7 @@ class Bipath:
         self.first = first
         self.second = second
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Arc]:
         return iter((self.first, self.second))
 
     def __eq__(self, other: object) -> bool:

@@ -113,7 +113,7 @@ class ReadRecord:
     cycle: int
     slice_: np.ndarray
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         # unpacking compatibility: (obj, cycle) = record
         return iter((self.obj, self.cycle))
 

@@ -1,4 +1,4 @@
-"""Command-line runner for the paper's experiments.
+"""Command-line runners: the experiments and the invariant auditor.
 
 Installed as ``repro-experiments``.  Examples::
 
@@ -9,6 +9,13 @@ Installed as ``repro-experiments``.  Examples::
 
 ``--transactions`` trades statistical tightness for wall-clock time; the
 paper's setting is 1000 (and takes minutes per figure in pure Python).
+
+Also installed as ``repro-audit`` (:func:`audit_main`): runs one seeded
+simulation with per-cycle trace recording and checks every registered
+protocol invariant (:mod:`repro.analysis`) against the run.  Exits
+non-zero when any invariant is violated.  Example::
+
+    repro-audit --protocol f-matrix --transactions 50 --objects 40
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from typing import List, Optional
 from .figures import EXPERIMENTS, table1_overheads
 from .report import format_csv, format_overheads, format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "audit_main", "build_audit_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +79,105 @@ def _run_one(name: str, transactions: int, seed: int, csv_dir, chart: bool = Fal
         path = csv_dir / f"{name}.csv"
         path.write_text(format_csv(result))
         print(f"wrote {path}")
+
+
+def build_audit_parser() -> argparse.ArgumentParser:
+    from ..core.validators import PROTOCOL_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-audit",
+        description=(
+            "Run one seeded simulation with trace recording and check every "
+            "registered protocol invariant against the run."
+        ),
+    )
+    parser.add_argument(
+        "--protocol",
+        choices=sorted(PROTOCOL_NAMES),
+        default="f-matrix",
+    )
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        default=100,
+        help="committed client transactions to audit (default 100; audit "
+        "runs record every broadcast cycle, so keep this moderate)",
+    )
+    parser.add_argument(
+        "--objects",
+        type=int,
+        default=50,
+        help="database size (default 50: a full 300-object matrix snapshot "
+        "per cycle is memory-heavy)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--modulo-timestamps",
+        action="store_true",
+        help="broadcast timestamps modulo 2**timestamp_bits (wire format)",
+    )
+    parser.add_argument(
+        "--invariant",
+        action="append",
+        default=None,
+        metavar="ID",
+        dest="invariants",
+        help="check only this invariant (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--list-invariants",
+        action="store_true",
+        help="print the registered invariant ids and exit",
+    )
+    return parser
+
+
+def audit_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-audit``."""
+    from ..analysis import audit_simulation, invariant_ids
+    from ..sim import SimulationConfig, run_simulation
+
+    args = build_audit_parser().parse_args(argv)
+    if args.list_invariants:
+        for invariant_id in invariant_ids():
+            print(invariant_id)
+        return 0
+
+    # Reject bad invariant ids before paying for the simulation run.
+    if args.invariants is not None:
+        unknown = [i for i in args.invariants if i not in invariant_ids()]
+        if unknown:
+            build_audit_parser().error(
+                f"unknown invariant id(s) {unknown}; "
+                f"see --list-invariants"
+            )
+
+    config = SimulationConfig(
+        protocol=args.protocol,
+        num_objects=args.objects,
+        num_client_transactions=args.transactions,
+        seed=args.seed,
+        modulo_timestamps=args.modulo_timestamps,
+        audit=True,
+    )
+    print(
+        f"auditing protocol={config.protocol} objects={config.num_objects} "
+        f"transactions={config.num_client_transactions} seed={config.seed}"
+    )
+    result = run_simulation(config)
+    if args.invariants is None and result.audit_report is not None:
+        report = result.audit_report  # run_simulation already audited
+    else:
+        report = audit_simulation(result, invariants=args.invariants)
+    trace = result.trace
+    assert trace is not None and report is not None
+    print(
+        f"run complete: {len(trace.cycles)} broadcast cycles, "
+        f"{result.metrics.server_commits} server commits, "
+        f"{len(trace.client_commits)} client commits"
+    )
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -123,7 +123,7 @@ class ClientWorkload:
         self._tid_prefix = tid_prefix
 
     def next_read_set(self) -> Tuple[int, ...]:
-        if self.access_skew == 0.0:
+        if self.access_skew <= 0.0:
             return tuple(self._rng.sample(range(self.num_objects), self.length))
         hot = list(range(self.hot_set_size))
         cold = list(range(self.hot_set_size, self.num_objects))

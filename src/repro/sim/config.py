@@ -10,6 +10,7 @@ inter-transaction delay of 131072 bit-units is 2 seconds.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -98,6 +99,11 @@ class SimulationConfig:
     #: round-trip bit-time for submit + verdict on the scarce uplink
     uplink_round_trip: float = 8_192.0
 
+    # -- analysis hooks -----------------------------------------------------
+    #: record per-cycle broadcast images + the induced history and run the
+    #: invariant auditor (:mod:`repro.analysis`) after the run
+    audit: bool = False
+
     # ----------------------------------------------------------------
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOL_NAMES:
@@ -136,9 +142,23 @@ class SimulationConfig:
             raise ValueError("client_access_skew must be in [0, 1]")
 
     # ----------------------------------------------------------------
-    def replace(self, **changes) -> "SimulationConfig":
+    def replace(self, **changes: object) -> "SimulationConfig":
         """A modified copy (sweeps use this)."""
         return dataclasses.replace(self, **changes)
+
+    def fingerprint(self) -> str:
+        """A short stable hash over every field (audit/provenance tag).
+
+        Two configs share a fingerprint iff every field compares equal, so
+        reports stamped with it are traceable to the exact parameterisation.
+        """
+        digest = hashlib.sha256()
+        for f in dataclasses.fields(self):
+            digest.update(f.name.encode())
+            digest.update(b"=")
+            digest.update(repr(getattr(self, f.name)).encode())
+            digest.update(b";")
+        return digest.hexdigest()[:12]
 
     # -- derived quantities -------------------------------------------
     def arithmetic(self) -> CycleArithmetic:
@@ -159,7 +179,7 @@ class SimulationConfig:
             num_groups=self.num_groups,
         )
 
-    def layout(self):
+    def layout(self) -> "FlatLayout | MultiDiskLayout":
         """The broadcast layout: flat (paper) or hot/cold multi-disk."""
         scheme = self.control_scheme()
         if self.layout_kind == "multi-disk":

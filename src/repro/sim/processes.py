@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Generator, List, Optional, Sequence, Union
 
 from ..broadcast.layout import FlatLayout
 from ..broadcast.program import BroadcastCycle
@@ -41,6 +41,10 @@ from .metrics import MetricsCollector
 from .trace import TraceRecorder
 
 __all__ = ["SharedState", "cycle_process", "server_process", "client_process"]
+
+#: what a simulation process generator yields / returns
+SimEvents = Generator[Union[Timeout, WaitUntil], None, None]
+SimAttempt = Generator[Union[Timeout, WaitUntil], None, bool]
 
 
 @dataclass
@@ -78,12 +82,16 @@ def cycle_process(
     server: BroadcastServer,
     layout: FlatLayout,
     state: SharedState,
-):
+    trace: Optional[TraceRecorder] = None,
+) -> "SimEvents":
     """Freeze and 'transmit' one broadcast image per cycle, forever."""
     cycle = 0
     while True:
         cycle += 1
-        state.advance(server.begin_cycle(cycle))
+        broadcast = server.begin_cycle(cycle)
+        state.advance(broadcast)
+        if trace is not None and trace.record_cycles:
+            trace.record_cycle(broadcast)
         yield Timeout(layout.cycle_bits)
 
 
@@ -95,7 +103,7 @@ def server_process(
     layout: FlatLayout,
     rng: random.Random,
     metrics: MetricsCollector,
-):
+) -> "SimEvents":
     """Complete server update transactions at the configured rate."""
     deterministic = config.server_interval_distribution == "deterministic"
     while True:
@@ -126,7 +134,7 @@ def client_process(
     server: Optional[BroadcastServer] = None,
     trace: Optional[TraceRecorder] = None,
     cache: Optional[QuasiCache] = None,
-):
+) -> "SimEvents":
     """Run ``num_client_transactions`` client transactions to commit.
 
     A configurable fraction are *update* transactions (Sec. 3.2.1's
@@ -184,10 +192,10 @@ def _submit_update(
     sim: Simulator,
     config: SimulationConfig,
     runtime: ReadOnlyTransactionRuntime,
-    write_objs,
+    write_objs: Sequence[int],
     server: "BroadcastServer",
     metrics: MetricsCollector,
-):
+) -> "SimAttempt":
     """Ship a finished update transaction up the uplink; True iff committed."""
     assert isinstance(runtime, ClientUpdateTransactionRuntime)
     for obj in write_objs:
@@ -211,7 +219,7 @@ def _attempt(
     metrics: MetricsCollector,
     rng: random.Random,
     cache: Optional[QuasiCache],
-):
+) -> "SimAttempt":
     """One attempt of a client transaction; True iff it commits."""
     first = True
     while not runtime.is_done:

@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an import cycle
+    from ..analysis.diagnostics import AuditReport
 
 from ..broadcast.layout import BroadcastLayout
 from ..client.cache import QuasiCache
@@ -46,6 +49,8 @@ class SimulationResult:
     trace: Optional[TraceRecorder]
     sim_time: float
     events: int
+    #: invariant-audit report, populated when the config sets ``audit=True``
+    audit_report: Optional["AuditReport"] = None
 
     @property
     def protocol(self) -> str:
@@ -75,7 +80,9 @@ class BroadcastSimulation:
             partition=config.partition(),
         )
         self.metrics = MetricsCollector()
-        self.trace = TraceRecorder() if collect_trace else None
+        self.trace = TraceRecorder() if (collect_trace or config.audit) else None
+        if self.trace is not None and config.audit:
+            self.trace.record_cycles = True
         self.state = SharedState(num_clients=config.num_clients)
         self.sim = Simulator()
 
@@ -115,7 +122,7 @@ class BroadcastSimulation:
         config = self.config
         sim = self.sim
         sim.spawn(
-            cycle_process(sim, self.server, self.layout, self.state),
+            cycle_process(sim, self.server, self.layout, self.state, self.trace),
             name="cycle",
         )
         sim.spawn(
@@ -161,7 +168,7 @@ class BroadcastSimulation:
 
         sim.run(stop_when=lambda: self.state.all_clients_done, max_events=max_events)
 
-        return SimulationResult(
+        result = SimulationResult(
             config=config,
             response_time=self.metrics.response_time(config.measure_fraction),
             restart_ratio=self.metrics.restart_ratio(config.measure_fraction),
@@ -171,6 +178,14 @@ class BroadcastSimulation:
             sim_time=sim.now,
             events=sim.events_processed,
         )
+        if config.audit:
+            # Imported here (not at module top) so repro.sim never depends
+            # on repro.analysis unless auditing is actually requested —
+            # analysis imports sim types for annotations only.
+            from ..analysis import audit_simulation
+
+            result.audit_report = audit_simulation(result)
+        return result
 
 
 def run_simulation(

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..broadcast.program import ObjectVersion
+from ..broadcast.program import BroadcastCycle, ObjectVersion
 from ..core.approx import ApproxReport, approx_report
 from ..core.model import History, Operation, T0
 from ..core.model import commit as commit_op
@@ -45,8 +45,15 @@ class ClientCommitRecord:
 class TraceRecorder:
     """Collects client commits; reconstructs and verifies the history."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.client_commits: List[ClientCommitRecord] = []
+        #: per-cycle broadcast images, recorded only when cycle recording
+        #: is enabled (``SimulationConfig(audit=True)``) — each image holds
+        #: the cycle's frozen versions and control snapshot, which is what
+        #: the invariant auditor checks monotonicity/agreement over
+        self.cycles: List[BroadcastCycle] = []
+        #: whether the cycle process should record broadcast images
+        self.record_cycles: bool = False
 
     def record_client_commit(
         self,
@@ -57,6 +64,10 @@ class TraceRecorder:
         self.client_commits.append(
             ClientCommitRecord(tid, tuple(versions), tuple(reads))
         )
+
+    def record_cycle(self, broadcast: BroadcastCycle) -> None:
+        """Retain one frozen broadcast image (audit runs only)."""
+        self.cycles.append(broadcast)
 
     # ------------------------------------------------------------------
     def build_history(self, database: Database) -> History:

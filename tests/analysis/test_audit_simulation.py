@@ -1,0 +1,84 @@
+"""Integration: the auditor on real (seeded) simulation runs.
+
+Every shipped protocol, plus the modulo-timestamp wire format and the
+quasi-cache, must produce runs with zero invariant violations; the report
+must carry the config fingerprint, and building a context from a
+trace-less run must fail with actionable guidance.
+"""
+
+import pytest
+
+from repro.analysis import audit_simulation, context_from_simulation
+from repro.core.validators import PROTOCOL_NAMES
+from repro.sim import SimulationConfig, run_simulation
+
+SMALL = dict(num_objects=30, num_client_transactions=12, client_txn_length=3)
+
+
+def small_config(**overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return SimulationConfig(audit=True, **params)
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOL_NAMES))
+def test_every_protocol_audits_clean(protocol):
+    config = small_config(
+        protocol=protocol, num_groups=3 if protocol == "group-matrix" else 1
+    )
+    result = run_simulation(config)
+    report = result.audit_report
+    assert report is not None
+    assert report.ok, report.format()
+    assert report.config_hash == config.fingerprint()
+    assert set(report.checked) == {
+        "control-monotonicity",
+        "control-agreement",
+        "validation-soundness",
+        "read-coherence",
+        "delta-coherence",
+        "update-serializability",
+        "commit-log-order",
+    }
+
+
+def test_modulo_timestamps_audit_clean():
+    result = run_simulation(small_config(modulo_timestamps=True))
+    assert result.audit_report is not None and result.audit_report.ok
+
+
+def test_cached_run_audits_clean():
+    result = run_simulation(small_config(cache_currency_bound=2_000_000.0))
+    assert result.audit_report is not None and result.audit_report.ok
+
+
+def test_audit_records_cycles():
+    result = run_simulation(small_config())
+    assert result.trace is not None
+    assert result.trace.cycles, "audit runs must record broadcast images"
+    cycles = [b.cycle for b in result.trace.cycles]
+    assert cycles == list(range(1, len(cycles) + 1))
+
+
+def test_plain_run_does_not_record_cycles():
+    config = SimulationConfig(audit=False, **SMALL)
+    result = run_simulation(config, collect_trace=True)
+    assert result.audit_report is None
+    assert result.trace is not None and not result.trace.cycles
+    # collect_trace still supports post-hoc auditing (minus cycle checks)
+    report = audit_simulation(result)
+    assert report.ok, report.format()
+
+
+def test_traceless_run_raises_with_guidance():
+    result = run_simulation(SimulationConfig(audit=False, **SMALL))
+    assert result.trace is None
+    with pytest.raises(ValueError, match="audit=True"):
+        context_from_simulation(result)
+
+
+def test_fingerprint_is_stable_and_field_sensitive():
+    a = SimulationConfig(**SMALL)
+    b = SimulationConfig(**SMALL)
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != a.replace(seed=a.seed + 1).fingerprint()

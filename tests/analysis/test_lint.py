@@ -1,0 +1,173 @@
+"""Tests for the repo-specific lint pass (repro.analysis.lint).
+
+Fixture files live outside the package tree, so every rule applies to
+them (scope rules only narrow inside ``repro/``); each fixture violates
+exactly one rule and declares ``__all__`` so REP005 stays quiet.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import collect_files, lint_file, lint_paths, main
+from repro.analysis.rules import RULES
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src" / "repro")
+
+FIXTURES = {
+    "REP001": '''\
+__all__ = []
+import time
+
+def stamp():
+    return time.time()
+''',
+    "REP002": '''\
+__all__ = []
+import random
+
+def pick():
+    return random.random()
+''',
+    "REP003": '''\
+__all__ = []
+
+def poke(matrix):
+    matrix._c[0, 0] = 99
+''',
+    "REP004": '''\
+__all__ = []
+
+def close_enough(x):
+    return x == 0.25
+''',
+    "REP005": '''\
+def helper():
+    return 1
+''',
+}
+
+
+def write_fixture(tmp_path: Path, name: str, source: str) -> str:
+    path = tmp_path / name
+    path.write_text(source)
+    return str(path)
+
+
+class TestRules:
+    def test_each_fixture_trips_exactly_its_rule(self, tmp_path):
+        for rule_id, source in FIXTURES.items():
+            path = write_fixture(tmp_path, f"fixture_{rule_id.lower()}.py", source)
+            findings = lint_file(path)
+            assert {f.rule for f in findings} == {rule_id}, (
+                f"{rule_id}: got {[f.format() for f in findings]}"
+            )
+
+    def test_findings_are_structured(self, tmp_path):
+        path = write_fixture(tmp_path, "wallclock.py", FIXTURES["REP001"])
+        finding = lint_file(path)[0]
+        assert finding.rule == "REP001"
+        assert finding.path == path
+        assert finding.line == 5
+        assert "time.time" in finding.message
+        assert finding.format().startswith(f"{path}:5:")
+
+    def test_numpy_global_rng_flagged(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "nprng.py",
+            "__all__ = []\nimport numpy as np\n\n\ndef draw():\n"
+            "    return np.random.rand(3)\n",
+        )
+        assert {f.rule for f in lint_file(path)} == {"REP002"}
+
+    def test_seeded_rng_not_flagged(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "seeded.py",
+            "__all__ = []\nimport random\nimport numpy as np\n\n\n"
+            "def draw(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    gen = np.random.default_rng(seed)\n"
+            "    return rng.random() + gen.random()\n",
+        )
+        assert lint_file(path) == []
+
+    def test_owned_private_attribute_not_flagged(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "owned.py",
+            "__all__ = []\n\n\nclass Box:\n"
+            "    def __init__(self):\n"
+            "        self._items = []\n\n"
+            "    def copy(self):\n"
+            "        out = Box()\n"
+            "        out._items = list(self._items)\n"
+            "        return out\n",
+        )
+        assert lint_file(path) == []
+
+    def test_noqa_suppresses_specific_rule(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "suppressed.py",
+            "__all__ = []\nimport time\n\n\ndef stamp():\n"
+            "    return time.time()  # noqa: REP001\n",
+        )
+        assert lint_file(path) == []
+
+    def test_noqa_other_rule_does_not_suppress(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "wrongnoqa.py",
+            "__all__ = []\nimport time\n\n\ndef stamp():\n"
+            "    return time.time()  # noqa: REP004\n",
+        )
+        assert {f.rule for f in lint_file(path)} == {"REP001"}
+
+    def test_scoped_rules_skip_out_of_scope_package_files(self):
+        wallclock = next(r for r in RULES if r.rule_id == "REP001")
+        assert wallclock.applies_to("src/repro/sim/engine.py")
+        assert not wallclock.applies_to("src/repro/experiments/cli.py")
+        assert wallclock.applies_to("tests/analysis/fixture.py")
+
+
+class TestDriver:
+    def test_repo_source_is_clean(self):
+        findings = lint_paths([REPO_SRC])
+        assert findings == [], [f.format() for f in findings]
+
+    def test_collect_files_deterministic(self):
+        files = collect_files([REPO_SRC])
+        assert files == sorted(files)
+        assert all(f.endswith(".py") for f in files)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = write_fixture(tmp_path, "clean.py", "__all__ = []\n")
+        assert main([clean]) == 0
+        dirty = write_fixture(tmp_path, "dirty.py", FIXTURES["REP004"])
+        assert main([dirty]) == 1
+        out = capsys.readouterr().out
+        assert "REP004" in out
+        assert main([str(tmp_path / "missing.py")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule.rule_id in out
+
+    def test_json_output(self, tmp_path, capsys):
+        dirty = write_fixture(tmp_path, "dirty.py", FIXTURES["REP001"])
+        assert main(["--json", dirty]) == 1
+        out = capsys.readouterr().out
+        assert '"rule": "REP001"' in out
+
+    def test_module_invocation_on_repo(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", REPO_SRC],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 findings" in proc.stdout

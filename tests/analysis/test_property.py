@@ -1,0 +1,70 @@
+"""Property-based tests: the auditor accepts exactly what certify accepts.
+
+``repro.analysis.audit_history`` (the history-level invariants) must pass
+a history iff :func:`repro.core.certify.certify_history` produces a
+certificate — i.e. iff APPROX accepts.  Random histories in the paper's
+model (reads-then-writes per transaction, arbitrary interleavings) pin
+the equivalence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import audit_history
+from repro.core.certify import CertificationError, certify_history
+from repro.core.model import History, commit, read, write
+
+NUM_OBJECTS = 3
+
+
+@st.composite
+def histories(draw, max_txns: int = 4):
+    """Random committed histories (reads before writes per transaction)."""
+    num_txns = draw(st.integers(1, max_txns))
+    blocks = []
+    for t in range(1, num_txns + 1):
+        objs = list(range(NUM_OBJECTS))
+        reads = draw(st.lists(st.sampled_from(objs), max_size=2, unique=True))
+        writes = draw(st.lists(st.sampled_from(objs), max_size=2, unique=True))
+        if not reads and not writes:
+            reads = [draw(st.sampled_from(objs))]
+        ops = [read(f"t{t}", str(o)) for o in reads]
+        ops += [write(f"t{t}", str(o)) for o in writes]
+        ops.append(commit(f"t{t}"))
+        blocks.append(list(reversed(ops)))
+    ops_out = []
+    live = [b for b in blocks if b]
+    while live:
+        index = draw(st.integers(0, len(live) - 1))
+        ops_out.append(live[index].pop())
+        live = [b for b in live if b]
+    return History(ops_out)
+
+
+@settings(max_examples=120, deadline=None)
+@given(histories())
+def test_auditor_agrees_with_certification(history):
+    try:
+        certify_history(history)
+        certified = True
+    except CertificationError:
+        certified = False
+    report = audit_history(history)
+    assert report.ok == certified, (
+        f"auditor ok={report.ok} but certify={certified} on "
+        f"{history.to_notation()!r}: "
+        + "; ".join(d.format() for d in report.diagnostics)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(histories())
+def test_rejections_carry_structured_diagnostics(history):
+    report = audit_history(history)
+    if report.ok:
+        return
+    for diag in report.diagnostics:
+        assert diag.invariant in report.checked
+        assert diag.message
+        # every soundness rejection names the offending transactions
+        if diag.invariant == "validation-soundness":
+            assert diag.transactions

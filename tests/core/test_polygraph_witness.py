@@ -1,0 +1,87 @@
+"""Acyclic-witness extraction on the Theorem 5 reduction polygraphs.
+
+:meth:`repro.core.polygraph.Polygraph.acyclic_witness` is the auditor's
+engine for distinguishing genuine inconsistency from APPROX conservatism,
+so it must be exact on the hardest instances the repo can build: the
+polygraphs produced by reducing 3SAT formulas
+(:func:`repro.core.reductions.reduce_sat_to_history`).  Satisfiable
+formulas must yield a witness that is compatible (one arc per bipath, all
+fixed arcs present) and acyclic; unsatisfiable formulas must yield none.
+"""
+
+import pytest
+
+from repro.core.legality import is_legal
+from repro.core.model import History
+from repro.core.polygraph import Polygraph, reader_polygraph
+from repro.core.reductions import CNF, Literal, reduce_sat_to_history
+
+p, q, r = Literal("p"), Literal("q"), Literal("r")
+
+SAT_FORMULAS = [
+    CNF([(p, q)]),
+    CNF([(p, q), (p.negate(), q)]),
+    CNF([(p, q, r), (p.negate(), q.negate(), r)]),
+    CNF([(p, q.negate()), (q, r.negate()), (r, p.negate())]),
+]
+UNSAT_FORMULAS = [
+    CNF([(p, q), (p.negate(), q), (p, q.negate()), (p.negate(), q.negate())]),
+]
+
+
+def assert_compatible(witness, poly: Polygraph) -> None:
+    """The witness must be a member of the family D(N, A, B) (Def. 5)."""
+    assert witness.nodes >= frozenset(poly.nodes)
+    for arc in poly.arcs:
+        assert witness.has_edge(*arc), f"fixed arc {arc} missing"
+    for bipath in poly.bipaths:
+        assert witness.has_edge(*bipath.first) or witness.has_edge(
+            *bipath.second
+        ), f"bipath {bipath} unsatisfied"
+
+
+class TestWitnessOnReductions:
+    @pytest.mark.parametrize("cnf", SAT_FORMULAS)
+    def test_satisfiable_formula_yields_valid_witness(self, cnf):
+        artifacts = reduce_sat_to_history(cnf)
+        witness = artifacts.reader_polygraph_.acyclic_witness()
+        assert witness is not None
+        assert witness.is_acyclic()
+        assert_compatible(witness, artifacts.reader_polygraph_)
+
+    @pytest.mark.parametrize("cnf", SAT_FORMULAS)
+    def test_witness_agrees_with_legality(self, cnf):
+        artifacts = reduce_sat_to_history(cnf)
+        assert is_legal(artifacts.history)
+        assert artifacts.reader_polygraph_.is_acyclic()
+
+    @pytest.mark.parametrize("cnf", UNSAT_FORMULAS)
+    def test_unsatisfiable_formula_yields_no_witness(self, cnf):
+        artifacts = reduce_sat_to_history(cnf)
+        assert artifacts.reader_polygraph_.acyclic_witness() is None
+        assert not is_legal(artifacts.history)
+
+    @pytest.mark.parametrize("cnf", SAT_FORMULAS + UNSAT_FORMULAS)
+    def test_witness_matches_exhaustive_enumeration(self, cnf):
+        """Backtracking agrees with brute force over D(N, A, B)."""
+        artifacts = reduce_sat_to_history(cnf)
+        poly = artifacts.reader_polygraph_
+        if len(poly.bipaths) > 12:
+            pytest.skip("enumeration too large")
+        exhaustive = any(g.is_acyclic() for g in poly.compatible_digraphs())
+        assert (poly.acyclic_witness() is not None) == exhaustive
+
+
+class TestWitnessOnReaderPolygraphs:
+    def test_reduction_history_reader_polygraph(self):
+        artifacts = reduce_sat_to_history(CNF([(p, q)]))
+        poly = reader_polygraph(
+            artifacts.history.committed_projection(), artifacts.reader
+        )
+        witness = poly.acyclic_witness()
+        assert witness is not None and witness.is_acyclic()
+
+    def test_empty_polygraph_trivially_witnessed(self):
+        poly = Polygraph(nodes=["t1", "t2"])
+        witness = poly.acyclic_witness()
+        assert witness is not None and witness.is_acyclic()
