@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint typecheck audit
+.PHONY: check test lint typecheck audit bench-smoke
 
 check: test lint typecheck
 
@@ -23,3 +23,9 @@ typecheck:
 
 audit:
 	$(PYTHON) -c "from repro.experiments.cli import audit_main; import sys; sys.exit(audit_main([]))"
+
+# tiny benchmark run: crash-detection for the harness and fast paths,
+# not a measurement (see docs/PERFORMANCE.md for real runs)
+bench-smoke:
+	$(PYTHON) -m repro.experiments.bench --smoke --workers 2 \
+		--label ci-smoke --output bench-smoke.json

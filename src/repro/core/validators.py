@@ -50,7 +50,7 @@ absolute cycle numbers or the paper's 8-bit modulo timestamps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -118,8 +118,22 @@ class ReadRecord:
         return iter((self.obj, self.cycle))
 
 
+#: smallest ``R_t`` for which the fancy-indexed numpy evaluation beats the
+#: scalar loop; below it, numpy call overhead dominates the few comparisons
+_VECTOR_MIN_READS = 4
+
+
 class ReadValidator:
-    """Base class: tracks ``R_t`` and defers the condition to subclasses."""
+    """Base class: tracks ``R_t`` and defers the condition to subclasses.
+
+    ``R_t``'s (object, cycle) pairs are mirrored into growing numpy
+    arrays so subclasses can evaluate the read condition with one
+    fancy-indexed comparison (the :class:`UnboundedCycles` fast path,
+    where encoded timestamps are absolute cycle numbers and ``<`` is the
+    plain integer order).  Modulo arithmetic and cached (out-of-order)
+    reads fall back to the scalar loop, which remains the semantics
+    oracle.
+    """
 
     #: short protocol identifier used in configs/reports
     name: str = "abstract"
@@ -127,11 +141,18 @@ class ReadValidator:
     def __init__(self, arithmetic: Optional[CycleArithmetic] = None):
         self.arithmetic = arithmetic or UnboundedCycles()
         self.records: List[ReadRecord] = []
+        self._vectorisable = isinstance(self.arithmetic, UnboundedCycles)
+        self._objs = np.zeros(8, dtype=np.int64)
+        self._cycles = np.zeros(8, dtype=np.int64)
+        self._count = 0
+        self._max_cycle = 0
 
     # ------------------------------------------------------------------
     def begin(self) -> None:
         """Start (or restart) a transaction: clear ``R_t``."""
         self.records = []
+        self._count = 0
+        self._max_cycle = 0
 
     @property
     def reads(self) -> List[Tuple[int, int]]:
@@ -150,13 +171,41 @@ class ReadValidator:
         beginning of that cycle) and its control slice.
         """
         if self._condition_holds(obj, snapshot):
-            self.records.append(
+            self._record(
                 ReadRecord(obj, snapshot.cycle, self._slice(obj, snapshot))
             )
             return True
         return False
 
     # ------------------------------------------------------------------
+    def _record(self, record: ReadRecord) -> None:
+        """Append to ``R_t``, mirroring (obj, cycle) into the arrays."""
+        self.records.append(record)
+        if self._count == len(self._objs):
+            grow = np.zeros(len(self._objs), dtype=np.int64)
+            self._objs = np.concatenate([self._objs, grow])
+            self._cycles = np.concatenate([self._cycles, grow])
+        self._objs[self._count] = record.obj
+        self._cycles[self._count] = record.cycle
+        self._count += 1
+        if record.cycle > self._max_cycle:
+            self._max_cycle = record.cycle
+
+    def _fast_path(self, now: int) -> bool:
+        """May this validation use the fancy-indexed evaluation?
+
+        Requires absolute (unbounded) timestamps, an ``R_t`` large enough
+        for numpy to win, and in-order reads only — ``max cycle <= now``
+        means no retained read postdates the snapshot, so the backward
+        (cached-read) condition is vacuous and the one-directional
+        comparison is the whole read condition.
+        """
+        return (
+            self._vectorisable
+            and self._count >= _VECTOR_MIN_READS
+            and self._max_cycle <= now
+        )
+
     def _condition_holds(self, obj: int, snapshot: ControlSnapshot) -> bool:
         raise NotImplementedError
 
@@ -190,6 +239,11 @@ class FMatrixValidator(ReadValidator):
 
     def _condition_holds(self, obj: int, snapshot: ControlSnapshot) -> bool:
         now = snapshot.cycle
+        if self._fast_path(now):
+            assert snapshot.matrix is not None
+            k = self._count
+            entries = snapshot.matrix[self._objs[:k], obj]
+            return bool(np.all(entries < self._cycles[:k]))
         for record in self.records:
             if not self._less(snapshot.fmatrix_entry(record.obj, obj), record.cycle, now=now):
                 return False
@@ -216,6 +270,11 @@ class DatacycleValidator(ReadValidator):
 
     def _condition_holds(self, obj: int, snapshot: ControlSnapshot) -> bool:
         now = snapshot.cycle
+        if self._fast_path(now):
+            assert snapshot.vector is not None
+            k = self._count
+            entries = snapshot.vector[self._objs[:k]]
+            return bool(np.all(entries < self._cycles[:k]))
         for record in self.records:
             if not self._less(snapshot.vector_entry(record.obj), record.cycle, now=now):
                 return False
@@ -251,6 +310,17 @@ class RMatrixValidator(ReadValidator):
 
     def _condition_holds(self, obj: int, snapshot: ControlSnapshot) -> bool:
         now = snapshot.cycle
+        if self._fast_path(now):
+            assert snapshot.vector is not None
+            k = self._count
+            entries = snapshot.vector[self._objs[:k]]
+            if bool(np.all(entries < self._cycles[:k])):
+                return True
+            # in-order is guaranteed on the fast path: try the
+            # first-read-state disjunct
+            c1 = self.first_read_cycle
+            assert c1 is not None  # _count >= _VECTOR_MIN_READS > 0
+            return int(snapshot.vector[obj]) < c1
         strict_ok = True
         in_order = True
         for record in self.records:
@@ -296,6 +366,11 @@ class GroupMatrixValidator(ReadValidator):
     def _condition_holds(self, obj: int, snapshot: ControlSnapshot) -> bool:
         now = snapshot.cycle
         group = self.partition.group_of(obj)
+        if self._fast_path(now):
+            assert snapshot.grouped is not None
+            k = self._count
+            entries = snapshot.grouped[self._objs[:k], group]
+            return bool(np.all(entries < self._cycles[:k]))
         for record in self.records:
             if not self._less(
                 snapshot.grouped_entry(record.obj, group), record.cycle, now=now

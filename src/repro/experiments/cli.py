@@ -6,6 +6,7 @@ Installed as ``repro-experiments``.  Examples::
     repro-experiments table1
     repro-experiments fig2 --transactions 200 --seed 7
     repro-experiments all --transactions 200 --csv results/
+    repro-experiments all --workers 4   # parallel grid, identical results
 
 ``--transactions`` trades statistical tightness for wall-clock time; the
 paper's setting is 1000 (and takes minutes per figure in pure Python).
@@ -50,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan grid points over N processes (results are bit-identical "
+        "to a sequential run; speedup is bounded by the core count)",
+    )
+    parser.add_argument(
         "--csv",
         type=pathlib.Path,
         default=None,
@@ -63,10 +71,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(name: str, transactions: int, seed: int, csv_dir, chart: bool = False) -> None:
+def _run_one(
+    name: str,
+    transactions: int,
+    seed: int,
+    csv_dir,
+    chart: bool = False,
+    workers: int = 1,
+) -> None:
     runner = EXPERIMENTS[name]
     start = time.time()
-    result = runner(transactions, seed=seed)
+    result = runner(transactions, seed=seed, workers=workers)
     elapsed = time.time() - start
     print(format_table(result))
     if chart:
@@ -198,7 +213,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "all":
         print(format_overheads(table1_overheads()))
     for name in names:
-        _run_one(name, args.transactions, args.seed, args.csv, chart=args.chart)
+        _run_one(
+            name,
+            args.transactions,
+            args.seed,
+            args.csv,
+            chart=args.chart,
+            workers=args.workers,
+        )
     return 0
 
 

@@ -62,6 +62,7 @@ def fig2_client_txn_length(
     protocols: Sequence[str] = PAPER_PROTOCOLS,
     seed: int = 42,
     include_datacycle_tail: bool = False,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figures 2(a) and 2(b): vary client transaction length.
 
@@ -86,6 +87,7 @@ def fig2_client_txn_length(
         list(lengths),
         protocols,
         skip=skip,
+        workers=workers,
     )
 
 
@@ -96,6 +98,7 @@ def fig3a_server_txn_length(
     protocols: Sequence[str] = PAPER_PROTOCOLS,
     client_txn_length: int = 4,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 3(a): vary server transaction length.
 
@@ -114,6 +117,7 @@ def fig3a_server_txn_length(
         "server_txn_length",
         list(lengths),
         protocols,
+        workers=workers,
     )
 
 
@@ -123,6 +127,7 @@ def fig3b_server_txn_rate(
     intervals: Sequence[float] = (50_000, 150_000, 250_000, 350_000, 450_000),
     protocols: Sequence[str] = PAPER_PROTOCOLS,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 3(b): vary server inter-completion time (rate decreases →)."""
     base = default_config(transactions, seed)
@@ -133,6 +138,7 @@ def fig3b_server_txn_rate(
         "server_txn_interval",
         list(intervals),
         protocols,
+        workers=workers,
     )
 
 
@@ -143,6 +149,7 @@ def fig4a_num_objects(
     protocols: Sequence[str] = PAPER_PROTOCOLS,
     client_txn_length: int = 4,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 4(a): vary the number of database objects.
 
@@ -158,6 +165,7 @@ def fig4a_num_objects(
         "num_objects",
         list(sizes),
         protocols,
+        workers=workers,
     )
 
 
@@ -167,6 +175,7 @@ def fig4b_object_size(
     sizes_kb: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
     protocols: Sequence[str] = PAPER_PROTOCOLS,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 4(b): vary the object size (KB on the x-axis)."""
     base = default_config(transactions, seed)
@@ -182,6 +191,7 @@ def fig4b_object_size(
         list(sizes_kb),
         protocols,
         config_hook=hook,
+        workers=workers,
     )
 
 
@@ -214,6 +224,7 @@ def ablation_group_matrix(
     group_counts: Sequence[int] = (1, 4, 16, 64),
     client_txn_length: int = 8,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """The F-Matrix ↔ vector spectrum (Sec. 3.2.2): sweep group count.
 
@@ -238,6 +249,7 @@ def ablation_group_matrix(
         list(group_counts),
         ["group-matrix"],
         config_hook=hook,
+        workers=workers,
     )
 
 
@@ -249,6 +261,7 @@ def ablation_caching(
     client_txn_length: int = 8,
     server_txn_interval: float = 2_000_000.0,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Quasi-caching under weak currency (Sec. 3.3, our quantification).
 
@@ -280,6 +293,7 @@ def ablation_caching(
         list(currency_bounds_cycles),
         [protocol],
         config_hook=hook,
+        workers=workers,
     )
 
 

@@ -4,12 +4,20 @@ An experiment varies one :class:`repro.sim.SimulationConfig` field across
 a list of values for several protocols, runs one simulation per (value,
 protocol) point, and gathers the series the paper plots: mean response
 time (bit-units) and restart ratio, with 95% confidence intervals.
+
+Grid points are independent seeded simulations, so ``run_sweep`` can fan
+them over a :class:`concurrent.futures.ProcessPoolExecutor`
+(``workers=N``) exactly like :mod:`repro.sim.batch` does for
+replications.  Results are gathered in submission order and every
+simulation derives its randomness from its config's seed, so the
+assembled :class:`ExperimentResult` is bit-identical to a sequential run.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..sim.config import SimulationConfig
 from ..sim.metrics import SummaryStat
@@ -85,6 +93,14 @@ class ExperimentResult:
         )
 
 
+def _run_grid_point(
+    job: "Tuple[str, object, SimulationConfig]",
+) -> "Tuple[str, object, SimulationResult]":
+    """One (protocol, value) point; module-level so pools can pickle it."""
+    protocol, value, config = job
+    return (protocol, value, run_simulation(config))
+
+
 def run_sweep(
     name: str,
     xlabel: str,
@@ -96,6 +112,7 @@ def run_sweep(
     config_hook: Optional[Callable[[SimulationConfig, object], SimulationConfig]] = None,
     skip: Optional[Callable[[str, object], bool]] = None,
     progress: Optional[Callable[[str, object, SimulationResult], None]] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run the full grid and collect series.
 
@@ -103,11 +120,17 @@ def run_sweep(
       is given, which maps (base, value) -> config directly);
     * ``skip(protocol, value)`` — omit points (the paper leaves Datacycle
       off the chart where it exceeds the y-axis);
-    * ``progress`` — callback after each point (CLI prints rows).
+    * ``progress`` — callback after each point (CLI prints rows);
+    * ``workers`` — fan grid points over that many processes (``None``/1
+      runs sequentially).  Hooks run in the parent — only finished,
+      picklable configs ship to the pool — and results are gathered in
+      grid order, so the returned series (and every ``progress`` call)
+      are identical to the sequential run's.
     """
     result = ExperimentResult(name, xlabel)
+    grid: List[Tuple[str, object, SimulationConfig]] = []
     for protocol in protocols:
-        series = Series(protocol)
+        result.series[protocol] = Series(protocol)
         for value in values:
             if skip is not None and skip(protocol, value):
                 continue
@@ -115,17 +138,25 @@ def run_sweep(
                 config = config_hook(base_config, value)
             else:
                 config = base_config.replace(**{param: value})
-            config = config.replace(protocol=protocol)
-            run = run_simulation(config)
-            point = Point(
-                x=float(value),
-                response_time=run.response_time,
-                restart_ratio=run.restart_ratio,
-                sim_time=run.sim_time,
-                events=run.events,
-            )
-            series.points.append(point)
-            if progress is not None:
-                progress(protocol, value, run)
-        result.series[protocol] = series
+            grid.append((protocol, value, config.replace(protocol=protocol)))
+
+    outcomes: "Iterable[Tuple[str, object, SimulationResult]]"
+    if workers is not None and workers > 1 and len(grid) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_grid_point, grid, chunksize=1))
+    else:
+        # a lazy iterator, so progress callbacks interleave with the runs
+        outcomes = (_run_grid_point(job) for job in grid)
+
+    for protocol, value, run in outcomes:
+        point = Point(
+            x=float(value),
+            response_time=run.response_time,
+            restart_ratio=run.restart_ratio,
+            sim_time=run.sim_time,
+            events=run.events,
+        )
+        result.series[protocol].points.append(point)
+        if progress is not None:
+            progress(protocol, value, run)
     return result

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+import numpy as np
+
 from ..broadcast.program import BroadcastCycle
 from ..core.control_matrix import ControlMatrix
 from ..core.cycles import CycleArithmetic, UnboundedCycles
@@ -65,6 +67,11 @@ class BroadcastServer:
             self.grouped = GroupedControlState(partition)
         self._validator = BackwardValidator(self.vector)
         self.current_cycle = 0
+        # copy-on-write per-cycle snapshots: the last frozen (encoded,
+        # read-only) control image, refreshed only where commits dirtied it
+        self._frozen_matrix: Optional[np.ndarray] = None
+        self._frozen_vector: Optional[np.ndarray] = None
+        self._frozen_grouped: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property
@@ -90,16 +97,46 @@ class BroadcastServer:
         )
 
     def _control_snapshot(self, cycle: int) -> ControlSnapshot:
+        """Copy-on-write frozen control image for one broadcast cycle.
+
+        The frozen image of the previous cycle is immutable, so it can be
+        reused outright when no commit dirtied the control state, and only
+        the dirtied columns need re-encoding otherwise — encoding is
+        elementwise (identity or modulo), hence columns whose absolute
+        entries did not change keep their encoding bit-for-bit.  The full
+        ``snapshot()`` + ``encode()`` path remains the oracle (and is the
+        first cycle's cold start); the regression tests compare against it.
+        """
         encode = self.arithmetic.encode_array
         if self.matrix is not None:
-            return ControlSnapshot(cycle, matrix=encode(self.matrix.snapshot()))
+            dirty = self.matrix.drain_dirty_columns()
+            frozen = self._frozen_matrix
+            if frozen is None:
+                frozen = encode(self.matrix.snapshot())
+                frozen.flags.writeable = False
+            elif dirty:
+                columns = list(dirty)
+                updated = frozen.copy()
+                updated[:, columns] = encode(self.matrix.array[:, columns])
+                updated.flags.writeable = False
+                frozen = updated
+            self._frozen_matrix = frozen
+            return ControlSnapshot(cycle, matrix=frozen)
         if self.grouped is not None:
+            if self.grouped.drain_dirty() or self._frozen_grouped is None:
+                frozen = encode(self.grouped.snapshot())
+                frozen.flags.writeable = False
+                self._frozen_grouped = frozen
             return ControlSnapshot(
                 cycle,
-                grouped=encode(self.grouped.snapshot()),
+                grouped=self._frozen_grouped,
                 partition=self.grouped.partition,
             )
-        return ControlSnapshot(cycle, vector=encode(self.vector.snapshot()))
+        if self.vector.drain_dirty() or self._frozen_vector is None:
+            frozen = encode(self.vector.snapshot())
+            frozen.flags.writeable = False
+            self._frozen_vector = frozen
+        return ControlSnapshot(cycle, vector=self._frozen_vector)
 
     # ------------------------------------------------------------------
     def commit_update(

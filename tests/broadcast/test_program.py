@@ -1,6 +1,7 @@
 """Tests for the broadcast image (repro.broadcast.program)."""
 
 import numpy as np
+import pytest
 
 from repro.broadcast.program import BroadcastCycle, ObjectVersion
 from repro.core.validators import ControlSnapshot
@@ -31,8 +32,12 @@ class TestBroadcastCycle:
         bc = make_cycle()
         col = bc.column(2)
         assert list(col) == [2, 5, 8]
-        # the returned column is a copy
-        col[0] = 99
+        # the returned column is a read-only view of the frozen snapshot:
+        # no per-call copy, and writes through it are rejected
+        assert np.shares_memory(col, bc.snapshot.matrix)
+        assert not col.flags.writeable
+        with pytest.raises(ValueError):
+            col[0] = 99
         assert bc.snapshot.matrix[0, 2] == 2
 
     def test_column_none_for_vector_protocols(self):

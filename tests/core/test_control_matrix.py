@@ -121,6 +121,37 @@ class TestTheorem2RandomizedOracle:
         assert np.array_equal(cm.array, oracle), (commits, cm.array, oracle)
 
 
+class TestDirtyColumnTracking:
+    """``drain_dirty_columns`` powers the server's copy-on-write snapshots."""
+
+    def test_written_columns_reported_once(self):
+        cm = ControlMatrix(4)
+        cm.apply_commit(1, [], [2, 0])
+        assert cm.drain_dirty_columns() == (0, 2)
+        assert cm.drain_dirty_columns() == ()  # drained
+
+    def test_reads_do_not_dirty(self):
+        cm = ControlMatrix(3)
+        cm.apply_commit(1, [], [0])
+        cm.drain_dirty_columns()
+        cm.apply_commit(2, [0, 1], [])
+        assert cm.drain_dirty_columns() == ()
+
+    def test_dirty_accumulates_across_commits(self):
+        cm = ControlMatrix(4)
+        cm.apply_commit(1, [], [3])
+        cm.apply_commit(2, [3], [1])
+        assert cm.drain_dirty_columns() == (1, 3)
+
+    def test_vectorised_apply_matches_columns(self):
+        cm = ControlMatrix(4)
+        cm.apply_commit(1, [], [0])
+        cm.apply_commit(2, [0], [1, 3])
+        # both written columns carry the same dependency column + diagonal
+        assert np.array_equal(cm.column(1), cm.column(3))
+        assert cm.entry(1, 3) == 2 and cm.entry(3, 1) == 2
+
+
 class TestReductions:
     def test_vector_is_row_max_and_last_write_cycle(self):
         cm = ControlMatrix(3)

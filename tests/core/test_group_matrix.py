@@ -147,3 +147,25 @@ class TestGroupedControlState:
         before = grouped.snapshot()
         grouped.apply_commit(9, [0, 1, 2], [])
         assert np.array_equal(grouped.array, before)
+
+
+class TestDirtyFlags:
+    """``drain_dirty`` powers the server's copy-on-write snapshots."""
+
+    def test_vector_dirty_on_write_only(self):
+        vec = LastWriteVector(3)
+        assert not vec.drain_dirty()  # clean at birth
+        vec.apply_commit(1, [0, 1], [])
+        assert not vec.drain_dirty()  # read-only commit: still clean
+        vec.apply_commit(2, [], [1])
+        assert vec.drain_dirty()
+        assert not vec.drain_dirty()  # drained
+
+    def test_grouped_dirty_on_write_only(self):
+        grouped = GroupedControlState(uniform_partition(4, 2))
+        assert not grouped.drain_dirty()
+        grouped.apply_commit(1, [0, 1, 2, 3], [])
+        assert not grouped.drain_dirty()
+        grouped.apply_commit(2, [0], [3])
+        assert grouped.drain_dirty()
+        assert not grouped.drain_dirty()

@@ -1,0 +1,127 @@
+"""Vectorised read-condition fast path == scalar loop (repro.core.validators).
+
+The validators evaluate the read condition with one fancy-indexed numpy
+comparison when timestamps are unbounded, ``R_t`` is large enough, and
+all reads are in-order (:meth:`ReadValidator._fast_path`).  The scalar
+loop remains the semantics oracle; these tests replay identical random
+read streams through a normal validator and a twin with the fast path
+forced off, and require bit-identical accept/reject decisions and
+``R_t`` contents — including streams with cached (out-of-order) reads,
+which must take the fallback on both.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.cycles import ModuloCycles, UnboundedCycles
+from repro.core.group_matrix import uniform_partition
+from repro.core.validators import (
+    _VECTOR_MIN_READS,
+    ControlSnapshot,
+    make_validator,
+)
+
+N = 8
+PROTOCOLS = ("f-matrix", "datacycle", "r-matrix", "group-matrix")
+
+
+def build_validator(protocol, *, arithmetic=None, scalar_only=False):
+    partition = uniform_partition(N, 3) if protocol == "group-matrix" else None
+    v = make_validator(protocol, arithmetic=arithmetic, partition=partition)
+    if scalar_only:
+        v._vectorisable = False  # force the oracle loop on every call
+    return v
+
+
+def random_snapshot(rng, protocol, cycle, partition):
+    """Control info with entries in [0, cycle]: accepts and rejects mix."""
+    if protocol in ("f-matrix", "f-matrix-no"):
+        return ControlSnapshot(
+            cycle, matrix=rng_integers(rng, (N, N), cycle + 1)
+        )
+    if protocol == "group-matrix":
+        return ControlSnapshot(
+            cycle,
+            grouped=rng_integers(rng, (N, partition.num_groups), cycle + 1),
+            partition=partition,
+        )
+    return ControlSnapshot(cycle, vector=rng_integers(rng, (N,), cycle + 1))
+
+
+def rng_integers(rng, shape, high):
+    flat = [rng.randrange(high) for _ in range(int(np.prod(shape)))]
+    return np.array(flat, dtype=np.int64).reshape(shape)
+
+
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_fast_path_matches_scalar_oracle(protocol, seed):
+    rng = random.Random(seed)
+    fast = build_validator(protocol)
+    slow = build_validator(protocol, scalar_only=True)
+    partition = getattr(fast, "partition", None)
+    for _txn in range(6):
+        fast.begin()
+        slow.begin()
+        cycle = rng.randint(1, 4)
+        for _read in range(_VECTOR_MIN_READS + rng.randint(0, 6)):
+            cycle += rng.randint(0, 2)  # in-order: non-decreasing cycles
+            snapshot = random_snapshot(rng, protocol, cycle, partition)
+            obj = rng.randrange(N)
+            assert fast.validate_read(obj, snapshot) == slow.validate_read(
+                obj, snapshot
+            )
+        assert fast.reads == slow.reads
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_cached_reads_fall_back_identically(protocol, seed):
+    """Out-of-order snapshots disable the fast path but not correctness."""
+    rng = random.Random(100 + seed)
+    fast = build_validator(protocol)
+    slow = build_validator(protocol, scalar_only=True)
+    partition = getattr(fast, "partition", None)
+    fast.begin()
+    slow.begin()
+    for _read in range(_VECTOR_MIN_READS + 8):
+        # cycles jump around: some snapshots predate recorded reads
+        cycle = rng.randint(1, 10)
+        snapshot = random_snapshot(rng, protocol, cycle, partition)
+        obj = rng.randrange(N)
+        assert fast.validate_read(obj, snapshot) == slow.validate_read(
+            obj, snapshot
+        )
+    assert fast.reads == slow.reads
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_modulo_arithmetic_never_uses_fast_path(protocol):
+    v = build_validator(protocol, arithmetic=ModuloCycles(8))
+    assert not v._vectorisable
+    assert not v._fast_path(10)
+
+
+def test_fast_path_needs_enough_reads():
+    v = build_validator("f-matrix")
+    snap = ControlSnapshot(5, matrix=np.zeros((N, N), dtype=np.int64))
+    for _ in range(_VECTOR_MIN_READS - 1):
+        assert v.validate_read(0, snap)
+        assert not v._fast_path(5)
+    assert v.validate_read(1, snap)
+    assert v._fast_path(5)
+    assert not v._fast_path(4)  # a snapshot older than a read: no fast path
+
+
+def test_record_arrays_grow_and_mirror():
+    v = build_validator("datacycle")
+    snap = ControlSnapshot(3, vector=np.zeros(N, dtype=np.int64))
+    for k in range(20):  # past the initial 8-slot capacity, twice
+        assert v.validate_read(k % N, snap)
+    assert v._count == 20
+    assert [int(o) for o in v._objs[:20]] == [k % N for k in range(20)]
+    assert all(int(c) == 3 for c in v._cycles[:20])
+    v.begin()
+    assert v._count == 0 and v.reads == []

@@ -82,3 +82,48 @@ class TestRunSweep:
             "demo", "x", tiny_base(), "client_txn_length", [3], ["f-matrix"]
         )
         assert result.ordering_holds(3, "f-matrix", "f-matrix")
+
+
+class TestParallelSweep:
+    """``workers=N`` must be a pure wall-clock knob: same results, same order."""
+
+    @pytest.mark.parametrize("seed", [2, 7])
+    def test_parallel_is_bit_identical_to_sequential(self, seed):
+        kwargs = dict(
+            config_hook=None,
+            skip=lambda protocol, value: protocol == "datacycle" and value == 4,
+        )
+        sequential = run_sweep(
+            "demo", "x", tiny_base(seed=seed), "client_txn_length",
+            [2, 3, 4], ["f-matrix", "datacycle"], **kwargs,
+        )
+        parallel = run_sweep(
+            "demo", "x", tiny_base(seed=seed), "client_txn_length",
+            [2, 3, 4], ["f-matrix", "datacycle"], workers=4, **kwargs,
+        )
+        assert list(parallel.series) == list(sequential.series)
+        for protocol in sequential.series:
+            assert (
+                parallel.series[protocol].points
+                == sequential.series[protocol].points
+            )
+
+    def test_parallel_progress_runs_in_grid_order(self):
+        calls = []
+        run_sweep(
+            "demo", "x", tiny_base(), "client_txn_length", [2, 3],
+            ["f-matrix", "datacycle"],
+            progress=lambda p, v, r: calls.append((p, v)),
+            workers=2,
+        )
+        assert calls == [
+            ("f-matrix", 2), ("f-matrix", 3),
+            ("datacycle", 2), ("datacycle", 3),
+        ]
+
+    def test_single_worker_stays_sequential(self):
+        result = run_sweep(
+            "demo", "x", tiny_base(), "client_txn_length", [2],
+            ["f-matrix"], workers=1,
+        )
+        assert result.series["f-matrix"].xs == (2.0,)
