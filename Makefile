@@ -25,7 +25,13 @@ audit:
 	$(PYTHON) -c "from repro.experiments.cli import audit_main; import sys; sys.exit(audit_main([]))"
 
 # tiny benchmark run: crash-detection for the harness and fast paths,
-# not a measurement (see docs/PERFORMANCE.md for real runs)
+# not a measurement (see docs/PERFORMANCE.md for real runs).  The
+# scaling section exercises the cohort executor at 8 and 64 clients and
+# cross-checks process-vs-cohort metric identity; its JSON lands in
+# bench-scaling-smoke.json (the committed BENCH_scaling.json is the
+# real measurement and is never overwritten here).
 bench-smoke:
 	$(PYTHON) -m repro.experiments.bench --smoke --workers 2 \
 		--label ci-smoke --output bench-smoke.json
+	$(PYTHON) -m repro.experiments.bench --smoke --sections scaling \
+		--label ci-smoke-scaling --output bench-scaling-smoke.json

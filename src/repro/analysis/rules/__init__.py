@@ -7,6 +7,7 @@ Importing this package registers every built-in rule in
 
 from __future__ import annotations
 
+from .allocation import NoHotLoopAllocationRule
 from .base import RULES, Finding, LintRule, ModuleUnderLint, register
 from .determinism import NoUnseededRandomRule, NoWallClockRule
 from .encapsulation import NoForeignPrivateMutationRule
@@ -24,4 +25,5 @@ __all__ = [
     "NoForeignPrivateMutationRule",
     "NoFloatEqualityRule",
     "MandatoryAllRule",
+    "NoHotLoopAllocationRule",
 ]

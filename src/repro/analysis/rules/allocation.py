@@ -1,0 +1,116 @@
+"""Allocation rule: no per-event object construction in simulation loops.
+
+The simulation kernel steps generator processes millions of times per
+run; a constructor call inside a process's ``while True`` body allocates
+one object *per simulated event*, and those allocations — not the
+protocol arithmetic — dominate wall-clock time at large client
+populations (the motivation for the cohort executor).  This rule flags
+CapWord constructor calls inside ``while True`` bodies of generator
+functions under ``repro/sim/``.
+
+Constructions whose arguments are loop-invariant should be hoisted
+before the loop (the event objects are stateless descriptors, so one
+instance can be yielded forever).  Constructions that genuinely vary per
+iteration are acknowledged with a ``# rep: allow-alloc`` comment on the
+construction's line — the escape hatch states "this allocation is
+per-event on purpose", which is exactly the information a reviewer
+needs.  ``raise CapWord(...)`` never counts: an exception leaves the
+loop.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from .base import Finding, LintRule, ModuleUnderLint, register
+
+__all__ = ["NoHotLoopAllocationRule"]
+
+_CAPWORD = re.compile(r"^[A-Z][A-Za-z0-9]*[a-z][A-Za-z0-9]*$")
+_ALLOW = re.compile(r"#\s*rep:\s*allow-alloc\b")
+
+
+def _is_generator(func: ast.AST) -> bool:
+    """Does ``func`` yield (ignoring nested function definitions)?"""
+    for node in _walk_same_function(func):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _walk_same_function(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_while_true(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.While)
+        and isinstance(node.test, ast.Constant)
+        and node.test.value is True
+    )
+
+
+def _raised_calls(tree: ast.AST) -> Set[int]:
+    """id()s of Call nodes that are the immediate operand of ``raise``."""
+    raised: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Raise) and isinstance(node.exc, ast.Call):
+            raised.add(id(node.exc))
+    return raised
+
+
+@register
+class NoHotLoopAllocationRule(LintRule):
+    """No per-event CapWord construction in sim process loops."""
+
+    rule_id = "REP006"
+    description = (
+        "no per-event object allocation inside `while True` bodies of "
+        "simulation generator processes; hoist loop-invariant "
+        "constructions, mark intentional ones `# rep: allow-alloc`"
+    )
+    scopes = ("repro/sim/",)
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        allowed_lines = {
+            lineno
+            for lineno, line in enumerate(module.source.splitlines(), start=1)
+            if _ALLOW.search(line)
+        }
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_generator(func):
+                continue
+            raised = _raised_calls(func)
+            for loop in _walk_same_function(func):
+                if not _is_while_true(loop):
+                    continue
+                for node in ast.walk(loop):
+                    if (
+                        not isinstance(node, ast.Call)
+                        or not isinstance(node.func, ast.Name)
+                        or not _CAPWORD.match(node.func.id)
+                        or id(node) in raised
+                    ):
+                        continue
+                    last_line = getattr(node, "end_lineno", node.lineno)
+                    span = range(node.lineno, last_line + 1)
+                    if any(line in allowed_lines for line in span):
+                        continue
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{node.func.id}(...) allocates per event inside a "
+                        "simulation hot loop; hoist it before the loop or "
+                        "mark the line `# rep: allow-alloc`",
+                    )

@@ -67,6 +67,8 @@ __all__ = [
     "GroupMatrixValidator",
     "PROTOCOL_NAMES",
     "make_validator",
+    "validate_read_batch",
+    "validate_read_batch_inorder",
 ]
 
 
@@ -107,7 +109,12 @@ class ReadRecord:
     the read — the object's matrix column (F-Matrix), the vector
     (Datacycle/R-Matrix), or the object's group column (group-matrix) —
     and is what a caching client keeps alongside the object (Sec. 3.3).
+    Slotted because the scalar validation sweeps touch ``obj``/``cycle``
+    once per retained read per validation — the hottest attribute reads
+    in the whole simulation.
     """
+
+    __slots__ = ("obj", "cycle", "slice_")
 
     obj: int
     cycle: int
@@ -117,10 +124,20 @@ class ReadRecord:
         # unpacking compatibility: (obj, cycle) = record
         return iter((self.obj, self.cycle))
 
+    def __reduce__(self):
+        # frozen + manual __slots__ (py3.9-compatible) defeats the
+        # default pickle path
+        return (self.__class__, (self.obj, self.cycle, self.slice_))
+
 
 #: smallest ``R_t`` for which the fancy-indexed numpy evaluation beats the
 #: scalar loop; below it, numpy call overhead dominates the few comparisons
 _VECTOR_MIN_READS = 4
+#: bucket size below which batch validation falls back to the scalar loop
+_BATCH_MIN_CLIENTS = 8
+#: R_t-entry total above which batch validation uses the fancy-indexed
+#: gather instead of the shared-column scalar sweep
+_BATCH_GATHER_MIN_RECORDS = 512
 
 
 class ReadValidator:
@@ -144,6 +161,7 @@ class ReadValidator:
         self._vectorisable = isinstance(self.arithmetic, UnboundedCycles)
         self._objs = np.zeros(8, dtype=np.int64)
         self._cycles = np.zeros(8, dtype=np.int64)
+        self._capacity = 8
         self._count = 0
         self._max_cycle = 0
 
@@ -181,15 +199,18 @@ class ReadValidator:
     def _record(self, record: ReadRecord) -> None:
         """Append to ``R_t``, mirroring (obj, cycle) into the arrays."""
         self.records.append(record)
-        if self._count == len(self._objs):
-            grow = np.zeros(len(self._objs), dtype=np.int64)
+        count = self._count
+        if count == self._capacity:
+            grow = np.zeros(self._capacity, dtype=np.int64)
             self._objs = np.concatenate([self._objs, grow])
             self._cycles = np.concatenate([self._cycles, grow])
-        self._objs[self._count] = record.obj
-        self._cycles[self._count] = record.cycle
-        self._count += 1
-        if record.cycle > self._max_cycle:
-            self._max_cycle = record.cycle
+            self._capacity *= 2
+        cycle = record.cycle
+        self._objs[count] = record.obj
+        self._cycles[count] = cycle
+        self._count = count + 1
+        if cycle > self._max_cycle:
+            self._max_cycle = cycle
 
     def _fast_path(self, now: int) -> bool:
         """May this validation use the fancy-indexed evaluation?
@@ -406,3 +427,222 @@ def make_validator(
             raise ValueError("group-matrix requires a partition")
         return GroupMatrixValidator(partition, arithmetic)
     raise ValueError(f"unknown protocol {protocol!r}; choose from {PROTOCOL_NAMES}")
+
+
+# ----------------------------------------------------------------------
+# cohort (batch) validation
+# ----------------------------------------------------------------------
+
+def validate_read_batch(
+    validators: Sequence[ReadValidator],
+    obj: int,
+    snapshot: ControlSnapshot,
+) -> List[bool]:
+    """Apply one read condition for many clients with one comparison.
+
+    All ``validators`` belong to clients reading the *same* object from
+    the *same* broadcast cycle (the cohort executor buckets clients by
+    broadcast slot, and a slot determines both).  Each validator keeps
+    its own ``R_t``; this stacks every eligible validator's (object,
+    cycle) int64 mirrors into one pair of arrays, gathers the control
+    entries with a single fancy-indexed lookup, and reduces the
+    comparison per client with ``np.add.reduceat`` — extending the
+    per-transaction fast path of :meth:`ReadValidator._fast_path` across
+    the whole bucket.
+
+    Per validator the result (and the recorded ``R_t`` on success) is
+    exactly what :meth:`ReadValidator.validate_read` would produce:
+    validators that are not batchable — modulo timestamps, or a retained
+    cached read postdating the snapshot — are evaluated through their
+    scalar path, which remains the semantics oracle.  Returns a list of
+    booleans aligned with ``validators``.
+    """
+    n = len(validators)
+    results = [False] * n
+    if n == 0:
+        return results
+    now = snapshot.cycle
+    proto = validators[0].__class__
+    batch: List[int] = []
+    total = 0
+    for i, validator in enumerate(validators):
+        if (
+            validator.__class__ is proto
+            and validator._vectorisable
+            and validator._max_cycle <= now
+        ):
+            batch.append(i)
+            total += validator._count
+        elif validator.validate_read(obj, snapshot):
+            results[i] = True
+    if not batch:
+        return results
+    if len(batch) < _BATCH_MIN_CLIENTS:
+        # tiny buckets: any shared setup cost exceeds the scalar loop's —
+        # same outcomes, same recorded R_t
+        for i in batch:
+            if validators[i].validate_read(obj, snapshot):
+                results[i] = True
+        return results
+
+    ok_flags = _strict_ok_flags(validators, batch, total, proto, obj, snapshot)
+
+    if proto is RMatrixValidator and not all(ok_flags):
+        # the disjunct: the value being read is unchanged since the
+        # transaction's first read (in-order is guaranteed for batch
+        # members, so the disjunct is admissible)
+        assert snapshot.vector is not None
+        entry_now = int(snapshot.vector[obj])
+        for j, i in enumerate(batch):
+            if not ok_flags[j]:
+                # strict failed => R_t non-empty => a first read exists
+                first_cycle = validators[i].records[0].cycle
+                ok_flags[j] = entry_now < first_cycle
+
+    if any(ok_flags):
+        # one frozen record serves every successful member: the content
+        # (object, cycle, control slice) is bucket-wide identical and
+        # ReadRecord is immutable, so sharing the instance is observably
+        # the same as constructing one per client
+        shared_slice = validators[batch[0]]._slice(obj, snapshot)
+        record = ReadRecord(obj, now, shared_slice)
+        for j, i in enumerate(batch):
+            if ok_flags[j]:
+                validators[i]._record(record)
+                results[i] = True
+    return results
+
+
+def validate_read_batch_inorder(
+    validators: Sequence[ReadValidator],
+    obj: int,
+    snapshot: ControlSnapshot,
+) -> List[bool]:
+    """:func:`validate_read_batch` minus the per-member eligibility test.
+
+    Precondition (the caller's to guarantee): every validator shares one
+    protocol class, uses absolute (unbounded) timestamps, and retains no
+    read postdating the snapshot — which holds for any cache-less client
+    population, since every retained read then came off an earlier (or
+    this) broadcast cycle.  The cohort executor checks these properties
+    once at construction; per bucket the eligibility loop is a third of
+    the validation cost, which is why this entry point exists.
+    """
+    n = len(validators)
+    if n < _BATCH_MIN_CLIENTS:
+        return [v.validate_read(obj, snapshot) for v in validators]
+    now = snapshot.cycle
+    total = 0
+    for validator in validators:
+        total += validator._count
+    proto = validators[0].__class__
+    batch = range(n)
+    ok_flags = _strict_ok_flags(validators, batch, total, proto, obj, snapshot)
+
+    if proto is RMatrixValidator and not all(ok_flags):
+        # first-read-state disjunct, as in validate_read_batch
+        assert snapshot.vector is not None
+        entry_now = int(snapshot.vector[obj])
+        for j in batch:
+            if not ok_flags[j]:
+                ok_flags[j] = entry_now < validators[j].records[0].cycle
+
+    if any(ok_flags):
+        shared_slice = validators[0]._slice(obj, snapshot)
+        record = ReadRecord(obj, now, shared_slice)
+        for ok, validator in zip(ok_flags, validators):
+            if ok:
+                # _record, inlined: at tens of thousands of recorded
+                # reads per wall-clock second the call frame itself is
+                # measurable (obj/now are loop-invariant here, too)
+                validator.records.append(record)
+                count = validator._count
+                if count == validator._capacity:
+                    grow = np.zeros(validator._capacity, dtype=np.int64)
+                    validator._objs = np.concatenate([validator._objs, grow])
+                    validator._cycles = np.concatenate([validator._cycles, grow])
+                    validator._capacity *= 2
+                validator._objs[count] = obj
+                validator._cycles[count] = now
+                validator._count = count + 1
+                if now > validator._max_cycle:
+                    validator._max_cycle = now
+    return ok_flags
+
+
+def _strict_ok_flags(
+    validators: Sequence[ReadValidator],
+    batch: Sequence[int],
+    total: int,
+    proto: type,
+    obj: int,
+    snapshot: ControlSnapshot,
+) -> List[bool]:
+    """The strict (conjunctive) read condition for each batch member.
+
+    Three tiers by total ``R_t`` size — empty, shared-column scalar
+    sweep, fancy-indexed gather — all equivalent to evaluating
+    ``_condition_holds`` per member on the fast path.  No recording and
+    no R-Matrix disjunct here; the callers apply those.
+    """
+    if total == 0:
+        return [True] * len(batch)
+    if total < _BATCH_GATHER_MIN_RECORDS:
+        # mid-size buckets: one shared control column as a plain python
+        # list, then each R_t entry costs a list index + int compare —
+        # beats the fancy-gather pipeline's fixed numpy overhead
+        if proto is FMatrixValidator:
+            assert snapshot.matrix is not None
+            column = snapshot.matrix[:, obj].tolist()
+        elif proto is GroupMatrixValidator:
+            assert snapshot.grouped is not None
+            first = validators[batch[0]]
+            assert isinstance(first, GroupMatrixValidator)
+            column = snapshot.grouped[:, first.partition.group_of(obj)].tolist()
+        else:
+            assert snapshot.vector is not None
+            column = snapshot.vector.tolist()
+        ok_flags = []
+        append = ok_flags.append
+        for i in batch:
+            ok = True
+            for record in validators[i].records:
+                if column[record.obj] >= record.cycle:
+                    ok = False
+                    break
+            append(ok)
+        return ok_flags
+    # large buckets: stack every member's (object, cycle) mirrors and
+    # evaluate the whole bucket with one fancy-indexed comparison
+    counts = np.fromiter(
+        (validators[i]._count for i in batch),
+        dtype=np.int64,
+        count=len(batch),
+    )
+    objs = np.concatenate(
+        [validators[i]._objs[: validators[i]._count] for i in batch]
+    )
+    cycles = np.concatenate(
+        [validators[i]._cycles[: validators[i]._count] for i in batch]
+    )
+    if proto is FMatrixValidator:
+        assert snapshot.matrix is not None
+        entries = snapshot.matrix[objs, obj]
+    elif proto is GroupMatrixValidator:
+        assert snapshot.grouped is not None
+        first_v = validators[batch[0]]
+        assert isinstance(first_v, GroupMatrixValidator)
+        entries = snapshot.grouped[objs, first_v.partition.group_of(obj)]
+    else:
+        assert snapshot.vector is not None
+        entries = snapshot.vector[objs]
+    fail = (entries >= cycles).astype(np.int64)
+    offsets = np.zeros(len(batch), dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    # reduceat returns the element at an empty segment's offset
+    # instead of 0, so reduce over the non-empty segments only;
+    # their offsets still partition [0, total) exactly
+    nonempty = counts > 0
+    seg_fail = np.zeros(len(batch), dtype=np.int64)
+    seg_fail[nonempty] = np.add.reduceat(fail, offsets[nonempty])
+    return (seg_fail == 0).tolist()

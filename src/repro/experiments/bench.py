@@ -21,7 +21,12 @@ Three sections:
 * **sweeps** — the experiment suite (``repro-experiments all``'s grid)
   timed sequentially and, when ``--workers`` > 1, through the parallel
   sweep executor.  Parallel speedup is bounded by the machine's core
-  count (recorded as ``cpu_count``).
+  count (recorded as ``cpu_count``);
+* **scaling** — client-count scaling of the per-process executor vs. the
+  slot-coalesced cohort executor (``repro-bench --sections scaling
+  --output BENCH_scaling.json``).  Each point times both executors on
+  the same seeded workload, checks their metrics are bit-identical, and
+  a cohort re-run at one point double-checks same-seed determinism.
 
 With ``--append`` the run is added to the existing document's ``runs``
 list and a ``comparison`` block (first vs. last run: per-workload speedup
@@ -31,6 +36,7 @@ plus a determinism verdict) is recomputed.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import pathlib
@@ -54,11 +60,15 @@ __all__ = [
     "bench_simulations",
     "bench_micro",
     "bench_sweeps",
+    "bench_scaling",
     "run_bench",
     "compare_runs",
     "build_parser",
     "main",
 ]
+
+#: every section run_bench knows how to execute
+SECTIONS = ("simulations", "micro", "sweeps", "scaling")
 
 #: experiments timed by the sweeps section, in a fixed canonical order
 SWEEP_NAMES = (
@@ -320,6 +330,143 @@ def bench_sweeps(
 
 
 # ----------------------------------------------------------------------
+# section: client-count scaling (per-process vs. cohort executor)
+# ----------------------------------------------------------------------
+
+#: client populations of the scaling sweep
+SCALING_CLIENT_COUNTS = (8, 64, 512, 4096)
+
+#: the broadcast-bound workload the cohort executor is built for: few
+#: objects, short cycles, think times far below the cycle length — so
+#: many clients wait on the same slot and coalescing pays.  Table 1's
+#: defaults (300 objects, sparse slots) are reported alongside as the
+#: honest low end; see docs/PERFORMANCE.md.
+_SCALING_DENSE = dict(
+    protocol="f-matrix",
+    num_objects=16,
+    client_txn_length=12,
+    mean_inter_operation_delay=4096.0,
+    mean_inter_transaction_delay=16384.0,
+    server_txn_interval=2_000_000.0,
+)
+
+
+def _metric_signature(result: Any) -> Dict[str, Any]:
+    """The observable outcome of a run, for bit-identity comparison.
+
+    Everything the paper's metrics are computed from: per-transaction
+    commits are folded into the summary stats, the counters come along
+    verbatim.  Two executors producing equal signatures on the same
+    seeded config are observably equivalent.
+    """
+    metrics = result.metrics
+    return {
+        "commits": len(metrics.samples),
+        "reads_delivered": metrics.reads_delivered,
+        "reads_rejected": metrics.reads_rejected,
+        "listening_bits": metrics.listening_bits,
+        "response_mean": result.response_time.mean,
+        "restart_mean": result.restart_ratio.mean,
+        "sim_time": result.sim_time,
+    }
+
+
+def _best_of(config: SimulationConfig, trials: int) -> "tuple[float, Any]":
+    best: Optional[float] = None
+    result: Any = None
+    for _ in range(trials):
+        gc.collect()
+        seconds, result = _timed(lambda: run_simulation(config))
+        best = seconds if best is None else min(best, seconds)
+    assert best is not None
+    return (best, result)
+
+
+def bench_scaling(
+    *,
+    clients: Sequence[int] = SCALING_CLIENT_COUNTS,
+    transactions: int = 8,
+    seed: int = 42,
+    trials: int = 3,
+    include_defaults: bool = True,
+) -> Dict[str, Any]:
+    """Time ``process`` vs. ``cohort`` executors over a client sweep.
+
+    Both executors run the *same* seeded workload at every point; their
+    metric signatures must match exactly (the cohort path is a bit-
+    identical reorganisation, not an approximation).  A cohort re-run at
+    the second point provides the same-seed determinism verdict.
+    """
+    base = SimulationConfig(
+        num_client_transactions=transactions, seed=seed, **_SCALING_DENSE
+    )
+    # warm both code paths (and the lazy scipy import inside summarize)
+    # so the first timed point doesn't pay one-time costs
+    for executor in ("process", "cohort"):
+        run_simulation(
+            base.replace(
+                num_clients=8, num_client_transactions=2, client_executor=executor
+            )
+        )
+
+    out: Dict[str, Any] = {
+        "config": dict(_SCALING_DENSE),
+        "transactions": transactions,
+        "seed": seed,
+        "trials": trials,
+    }
+    points: List[Dict[str, Any]] = []
+    determinism_ok = True
+    for position, num_clients in enumerate(clients):
+        config = base.replace(num_clients=num_clients)
+        point: Dict[str, Any] = {"clients": num_clients}
+        signatures: Dict[str, Dict[str, Any]] = {}
+        for executor in ("process", "cohort"):
+            seconds, result = _best_of(
+                config.replace(client_executor=executor), trials
+            )
+            signatures[executor] = _metric_signature(result)
+            point[f"{executor}_seconds"] = round(seconds, 4)
+            point[f"{executor}_events"] = result.events
+        point["speedup"] = round(
+            point["process_seconds"] / point["cohort_seconds"], 2
+        )
+        point["metrics_identical"] = (
+            signatures["process"] == signatures["cohort"]
+        )
+        point["signature"] = signatures["cohort"]
+        if position == min(1, len(clients) - 1):
+            # same-seed determinism: a fresh cohort run must reproduce
+            # the first one bit for bit
+            rerun = run_simulation(config.replace(client_executor="cohort"))
+            determinism_ok = _metric_signature(rerun) == signatures["cohort"]
+        points.append(point)
+    out["points"] = points
+    out["same_seed_determinism_ok"] = determinism_ok
+    if include_defaults:
+        # the honest counterpoint: Table 1's sparse default layout, where
+        # few clients share a slot and coalescing buys much less
+        defaults = SimulationConfig(
+            protocol="f-matrix",
+            num_clients=512,
+            num_client_transactions=transactions,
+            seed=seed,
+        )
+        point = {"clients": 512}
+        for executor in ("process", "cohort"):
+            seconds, result = _best_of(
+                defaults.replace(client_executor=executor), trials
+            )
+            point[f"{executor}_seconds"] = round(seconds, 4)
+            point[f"{executor}_events"] = result.events
+        point["speedup"] = round(
+            point["process_seconds"] / point["cohort_seconds"], 2
+        )
+        out["table1_defaults"] = point
+    return out
+
+
+# ----------------------------------------------------------------------
 # assembly, comparison, CLI
 # ----------------------------------------------------------------------
 
@@ -373,6 +520,17 @@ def run_bench(
             seed=seed,
             workers=workers,
         )
+    if "scaling" in sections:
+        if smoke:
+            run["scaling"] = bench_scaling(
+                clients=(8, 64),
+                transactions=2,
+                seed=seed,
+                trials=1,
+                include_defaults=False,
+            )
+        else:
+            run["scaling"] = bench_scaling(seed=seed)
     return run
 
 
@@ -457,7 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--sections",
         default="simulations,micro,sweeps",
-        help="comma-separated subset of: simulations,micro,sweeps",
+        help=f"comma-separated subset of: {','.join(SECTIONS)}",
     )
     parser.add_argument(
         "--append",
@@ -476,7 +634,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``repro-bench``."""
     args = build_parser().parse_args(argv)
     sections = tuple(s for s in args.sections.split(",") if s)
-    unknown = [s for s in sections if s not in ("simulations", "micro", "sweeps")]
+    unknown = [s for s in sections if s not in SECTIONS]
     if unknown:
         build_parser().error(f"unknown section(s) {unknown}")
     run = run_bench(
@@ -494,7 +652,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     runs.append(run)
     document: Dict[str, Any] = {
         "schema": 1,
-        "benchmark": "fastpath",
+        "benchmark": "scaling" if sections == ("scaling",) else "fastpath",
         "runs": runs,
     }
     if len(runs) >= 2:
@@ -520,6 +678,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(speedup {sweeps['parallel_speedup']:.2f}x)"
             )
         print(line)
+    scaling = run.get("scaling")
+    if scaling:
+        for point in scaling["points"]:
+            print(
+                f"  scaling {point['clients']:>5} clients  "
+                f"process {point['process_seconds']:>7.3f}s "
+                f"({point['process_events']:>8,} ev)  "
+                f"cohort {point['cohort_seconds']:>7.3f}s "
+                f"({point['cohort_events']:>8,} ev)  "
+                f"speedup {point['speedup']:.2f}x  "
+                f"identical={point['metrics_identical']}"
+            )
+        if "table1_defaults" in scaling:
+            point = scaling["table1_defaults"]
+            print(
+                f"  scaling table1-defaults ({point['clients']} clients)  "
+                f"speedup {point['speedup']:.2f}x"
+            )
+        print(
+            "  scaling same-seed determinism: "
+            + ("OK" if scaling["same_seed_determinism_ok"] else "FAILED")
+        )
     return 0
 
 

@@ -58,6 +58,14 @@ def build_parser() -> argparse.ArgumentParser:
         "to a sequential run; speedup is bounded by the core count)",
     )
     parser.add_argument(
+        "--executor",
+        choices=["process", "cohort"],
+        default="process",
+        help="client execution layer: 'cohort' coalesces same-slot clients "
+        "into one event (bit-identical results, faster at large client "
+        "populations; see docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
         "--csv",
         type=pathlib.Path,
         default=None,
@@ -78,10 +86,11 @@ def _run_one(
     csv_dir,
     chart: bool = False,
     workers: int = 1,
+    executor: str = "process",
 ) -> None:
     runner = EXPERIMENTS[name]
     start = time.time()
-    result = runner(transactions, seed=seed, workers=workers)
+    result = runner(transactions, seed=seed, workers=workers, executor=executor)
     elapsed = time.time() - start
     print(format_table(result))
     if chart:
@@ -220,6 +229,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.csv,
             chart=args.chart,
             workers=args.workers,
+            executor=args.executor,
         )
     return 0
 

@@ -50,9 +50,18 @@ __all__ = [
 PAPER_PROTOCOLS = ("datacycle", "r-matrix", "f-matrix", "f-matrix-no")
 
 
-def default_config(transactions: int = 1000, seed: int = 42) -> SimulationConfig:
-    """Table 1 defaults with a configurable run length."""
-    return SimulationConfig(num_client_transactions=transactions, seed=seed)
+def default_config(
+    transactions: int = 1000, seed: int = 42, executor: str = "process"
+) -> SimulationConfig:
+    """Table 1 defaults with a configurable run length.
+
+    ``executor`` selects the client execution layer ("process" or
+    "cohort"); the two are bit-identical, so figures may be reproduced
+    on either (the cohort path is faster at large client populations).
+    """
+    return SimulationConfig(
+        num_client_transactions=transactions, seed=seed, client_executor=executor
+    )
 
 
 def fig2_client_txn_length(
@@ -63,6 +72,7 @@ def fig2_client_txn_length(
     seed: int = 42,
     include_datacycle_tail: bool = False,
     workers: Optional[int] = None,
+    executor: str = "process",
 ) -> ExperimentResult:
     """Figures 2(a) and 2(b): vary client transaction length.
 
@@ -70,7 +80,7 @@ def fig2_client_txn_length(
     by default the same point is skipped (it dominates wall-clock time),
     pass ``include_datacycle_tail=True`` to measure it anyway.
     """
-    base = default_config(transactions, seed)
+    base = default_config(transactions, seed, executor)
 
     def skip(protocol: str, value: object) -> bool:
         return (
@@ -99,6 +109,7 @@ def fig3a_server_txn_length(
     client_txn_length: int = 4,
     seed: int = 42,
     workers: Optional[int] = None,
+    executor: str = "process",
 ) -> ExperimentResult:
     """Figure 3(a): vary server transaction length.
 
@@ -107,7 +118,7 @@ def fig3a_server_txn_length(
     control-information overhead and the paper's full F < R < Datacycle
     ordering is unambiguous.
     """
-    base = default_config(transactions, seed).replace(
+    base = default_config(transactions, seed, executor).replace(
         client_txn_length=client_txn_length
     )
     return run_sweep(
@@ -128,9 +139,10 @@ def fig3b_server_txn_rate(
     protocols: Sequence[str] = PAPER_PROTOCOLS,
     seed: int = 42,
     workers: Optional[int] = None,
+    executor: str = "process",
 ) -> ExperimentResult:
     """Figure 3(b): vary server inter-completion time (rate decreases →)."""
-    base = default_config(transactions, seed)
+    base = default_config(transactions, seed, executor)
     return run_sweep(
         "fig3b",
         "server inter-completion time (bit-units)",
@@ -150,12 +162,13 @@ def fig4a_num_objects(
     client_txn_length: int = 4,
     seed: int = 42,
     workers: Optional[int] = None,
+    executor: str = "process",
 ) -> ExperimentResult:
     """Figure 4(a): vary the number of database objects.
 
     ``client_txn_length`` as in :func:`fig3a_server_txn_length`.
     """
-    base = default_config(transactions, seed).replace(
+    base = default_config(transactions, seed, executor).replace(
         client_txn_length=client_txn_length
     )
     return run_sweep(
@@ -176,9 +189,10 @@ def fig4b_object_size(
     protocols: Sequence[str] = PAPER_PROTOCOLS,
     seed: int = 42,
     workers: Optional[int] = None,
+    executor: str = "process",
 ) -> ExperimentResult:
     """Figure 4(b): vary the object size (KB on the x-axis)."""
-    base = default_config(transactions, seed)
+    base = default_config(transactions, seed, executor)
 
     def hook(cfg: SimulationConfig, value: object) -> SimulationConfig:
         return cfg.replace(object_size_bits=int(float(value) * KILOBYTE_BITS))  # type: ignore[arg-type]
@@ -225,6 +239,7 @@ def ablation_group_matrix(
     client_txn_length: int = 8,
     seed: int = 42,
     workers: Optional[int] = None,
+    executor: str = "process",
 ) -> ExperimentResult:
     """The F-Matrix ↔ vector spectrum (Sec. 3.2.2): sweep group count.
 
@@ -234,7 +249,7 @@ def ablation_group_matrix(
     and Datacycle are the spectrum's endpoints (g = n with per-slot
     columns / g = 1 with the strict condition).
     """
-    base = default_config(transactions, seed).replace(
+    base = default_config(transactions, seed, executor).replace(
         client_txn_length=client_txn_length
     )
 
@@ -262,6 +277,7 @@ def ablation_caching(
     server_txn_interval: float = 2_000_000.0,
     seed: int = 42,
     workers: Optional[int] = None,
+    executor: str = "process",
 ) -> ExperimentResult:
     """Quasi-caching under weak currency (Sec. 3.3, our quantification).
 
@@ -274,7 +290,7 @@ def ablation_caching(
     EXPERIMENTS.md.  Mutual consistency is preserved throughout (the
     trace cross-check in the test suite covers the cached path too).
     """
-    base = default_config(transactions, seed).replace(
+    base = default_config(transactions, seed, executor).replace(
         client_txn_length=client_txn_length,
         protocol=protocol,
         server_txn_interval=server_txn_interval,

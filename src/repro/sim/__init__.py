@@ -1,6 +1,7 @@
 """Discrete-event simulation of the broadcast-disk system (Sec. 4 setup)."""
 
 from .batch import ReplicatedResult, replicate, replication_seeds
+from .cohort import CohortClient, CohortExecutor
 from .config import KILOBYTE_BITS, SimulationConfig
 from .engine import Process, Simulator, Timeout, WaitUntil, Waive
 from .metrics import (
@@ -32,6 +33,8 @@ __all__ = [
     "BroadcastSimulation",
     "SimulationResult",
     "run_simulation",
+    "CohortClient",
+    "CohortExecutor",
     "TraceRecorder",
     "ClientCommitRecord",
 ]

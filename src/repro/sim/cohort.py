@@ -1,0 +1,553 @@
+"""Slot-coalesced cohort execution for large read-only client populations.
+
+The per-process client path (:func:`repro.sim.processes.client_process`)
+pays one generator step plus one heapq push/pop **per client per event**:
+a think-time timeout, then a wait for the object's broadcast slot, for
+every read of every client.  With hundreds or thousands of clients the
+simulation kernel, not the protocol work, dominates wall-clock time.
+
+The cohort executor removes that per-client constant factor with three
+observations, none of which changes a single simulated outcome:
+
+1. **Think-time events are unobservable.**  Between a commit (or a
+   delivered read) and the next slot wait, a client only draws its think
+   delay and computes the slot of its next object — no shared state is
+   read at the think-expiry instant.  The chain ``now → think expiry →
+   slot end`` therefore collapses into one local computation, eliminating
+   the timeout event entirely.
+
+2. **Slot waits coalesce.**  Every client waiting for the same broadcast
+   slot resumes at the same instant and reads the same object from the
+   same frozen cycle image.  Bucketing them (a calendar keyed by slot-end
+   time) fires **one** simulator event per occupied slot instead of one
+   per client.
+
+3. **Validation batches.**  Within a bucket all clients evaluate the same
+   protocol's read condition against the same control snapshot, so the
+   whole bucket is validated with one fancy-indexed comparison
+   (:func:`repro.core.validators.validate_read_batch`).
+
+Determinism is preserved exactly: each client draws from its private RNG
+stream in the same order the per-process path would, and bucket members
+are processed in the order their slot waits would have been *issued*
+(think-expiry time, ties by enqueue order) — which is the order the
+per-process path's same-time events fire in.  Exponential delays are
+drawn inline as ``-log(1 - rng.random()) / lambd`` — the exact formula of
+:meth:`random.Random.expovariate`, consuming the same single draw — so
+the values are bit-identical to the per-process path's.  Oracle tests
+assert bit-identical commits, restarts, response times and listening bits
+against the per-process path on randomized configs.
+
+Update transactions keep the per-process path: when a client's next
+transaction draws as an update (``client_update_fraction > 0``), the
+client leaves the cohort and runs that transaction as a real simulator
+process (reusing the exact :func:`repro.sim.processes._attempt` /
+``_submit_update`` code), rejoining the cohort at its next read-only
+transaction.  The two populations compose deterministically because
+per-client RNG streams are independent and all cross-client state a read
+consults (the frozen cycle snapshots) is installed at cycle boundaries.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import partial
+from math import log as _log
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..broadcast.layout import BroadcastLayout, FlatLayout
+from ..client.cache import QuasiCache
+from ..client.runtime import ClientUpdateTransactionRuntime, ReadOnlyTransactionRuntime
+from ..core.validators import (
+    ReadValidator,
+    validate_read_batch,
+    validate_read_batch_inorder,
+)
+from ..server.server import BroadcastServer
+from .config import SimulationConfig
+from .engine import Simulator, Timeout, WaitUntil
+from .metrics import MetricsCollector
+from .processes import SharedState, SimEvents, _attempt, _submit_update
+from .trace import TraceRecorder
+
+__all__ = ["CohortClient", "CohortExecutor"]
+
+
+class CohortClient:
+    """Per-client simulation state driven by the cohort executor."""
+
+    __slots__ = (
+        "client_id",
+        "workload",
+        "validator",
+        "rng",
+        "cache",
+        "runtime",
+        "txn_index",
+        "txn_len",
+        "submit_time",
+        "restarts",
+    )
+
+    def __init__(
+        self,
+        client_id: int,
+        workload: object,
+        validator: ReadValidator,
+        rng: random.Random,
+        cache: Optional[QuasiCache],
+    ) -> None:
+        self.client_id = client_id
+        self.workload = workload
+        self.validator = validator
+        self.rng = rng
+        self.cache = cache
+        self.runtime: Optional[ReadOnlyTransactionRuntime] = None
+        self.txn_index = 0
+        self.txn_len = 0
+        self.submit_time = 0.0
+        self.restarts = 0
+
+
+class _Bucket:
+    """Clients awaiting one broadcast slot (same object, same cycle)."""
+
+    __slots__ = ("obj", "cycle", "members")
+
+    def __init__(self, obj: int, cycle: int) -> None:
+        self.obj = obj
+        self.cycle = cycle
+        #: (issue time, enqueue order, client) — sorted before processing
+        #: so clients fire in the order their per-process WaitUntil
+        #: events would have been pushed
+        self.members: List[Tuple[float, int, CohortClient]] = []
+
+
+class CohortExecutor:
+    """Runs a client population through slot-coalesced buckets."""
+
+    def __init__(
+        self,
+        *,
+        sim: Simulator,
+        config: SimulationConfig,
+        layout: BroadcastLayout,
+        state: SharedState,
+        server: BroadcastServer,
+        metrics: MetricsCollector,
+        clients: Sequence[CohortClient],
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.layout = layout
+        self.state = state
+        self.server = server
+        self.metrics = metrics
+        self.trace = trace
+        self.clients = list(clients)
+        self._buckets: Dict[float, _Bucket] = {}
+        #: (time, fire-callback) pairs not yet pushed — flushed in one
+        #: schedule_many call per entry point to cut heapq churn
+        self._new_buckets: List[Tuple[float, Callable[[], None]]] = []
+        self._enqueue_order = 0
+        # exponential-delay rates, precomputed exactly as the per-process
+        # path evaluates them (1.0 / mean), so inline draws divide by the
+        # bit-identical lambda
+        self._op_lambd = 1.0 / config.mean_inter_operation_delay
+        self._txn_lambd = 1.0 / config.mean_inter_transaction_delay
+        # flat layouts are the common case: their slot timing is pure
+        # arithmetic, inlined in _seek_slot; other layouts go through
+        # layout.next_read
+        if isinstance(layout, FlatLayout):
+            self._flat_offsets: Optional[List[int]] = [
+                layout.slot_end_offset(obj) for obj in range(layout.num_objects)
+            ]
+        else:
+            self._flat_offsets = None
+        self._cycle_bits = layout.cycle_bits
+        self._slot_bits = layout.slot_bits  # type: ignore[attr-defined]
+        # cache-less uniform populations with absolute timestamps satisfy
+        # validate_read_batch_inorder's precondition for every bucket
+        # (checked once here instead of per member per bucket)
+        self._batch_validate = validate_read_batch
+        if (
+            all(c.cache is None for c in self.clients)
+            and len({c.validator.__class__ for c in self.clients}) == 1
+            and all(c.validator._vectorisable for c in self.clients)
+        ):
+            self._batch_validate = validate_read_batch_inorder
+
+    # ------------------------------------------------------------------
+    # startup
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin every client's first transaction (call before run)."""
+        config = self.config
+        for client in self.clients:
+            if config.num_client_transactions <= 0:
+                self.state.clients_done += 1
+                continue
+            tid, objects = self._draw_transaction(client)
+            if self._draw_is_update(client):
+                self._spawn_update(client, 0.0, tid, objects)
+            else:
+                self._begin_read_only(client, 0.0, tid, objects)
+                self._advance(client, 0.0, first=True)
+        self._flush_schedules()
+
+    # ------------------------------------------------------------------
+    # transaction bookkeeping
+    # ------------------------------------------------------------------
+    def _draw_transaction(self, client: CohortClient) -> Tuple[str, Tuple[int, ...]]:
+        tid, objects = client.workload.next_transaction()  # type: ignore[attr-defined]
+        return f"cl{client.client_id}.{tid}", objects
+
+    def _draw_is_update(self, client: CohortClient) -> bool:
+        # mirrors client_process: the fraction gate short-circuits, so no
+        # RNG draw happens when update transactions are disabled
+        return (
+            self.config.client_update_fraction > 0.0
+            and client.rng.random() < self.config.client_update_fraction
+        )
+
+    def _begin_read_only(
+        self,
+        client: CohortClient,
+        submit_time: float,
+        tid: str,
+        objects: Sequence[int],
+    ) -> None:
+        client.runtime = ReadOnlyTransactionRuntime(tid, objects, client.validator)
+        client.txn_len = len(client.runtime.objects)
+        client.submit_time = submit_time
+        client.restarts = 0
+
+    def _spawn_update(
+        self,
+        client: CohortClient,
+        start_time: float,
+        tid: str,
+        objects: Sequence[int],
+    ) -> None:
+        self.sim.spawn(
+            self._update_loop(client, start_time, tid, objects),
+            name=f"client-{client.client_id}-update",
+        )
+
+    def _commit_and_continue(
+        self, client: CohortClient, commit_time: float
+    ) -> Optional[float]:
+        """Commit the pending transaction; set up the next one.
+
+        Returns the next read-only transaction's start time, or ``None``
+        when the client finished, or handed off to an update process.
+        """
+        runtime = client.runtime
+        assert runtime is not None
+        runtime.commit()
+        self.metrics.record_commit(
+            runtime.tid, client.submit_time, commit_time, client.restarts
+        )
+        if self.trace is not None:
+            self.trace.record_client_commit(
+                runtime.tid, runtime.versions, runtime.reads
+            )
+        delay = -_log(1.0 - client.rng.random()) / self._txn_lambd
+        start_time = commit_time + delay
+        client.txn_index += 1
+        if client.txn_index >= self.config.num_client_transactions:
+            # the per-process client is done only after its trailing
+            # inter-transaction delay elapses — keep that as a real event
+            # so the run's stop time matches exactly
+            self.sim.schedule(start_time, partial(self._client_done, client))
+            return None
+        tid, objects = self._draw_transaction(client)
+        if self._draw_is_update(client):
+            self._spawn_update(client, start_time, tid, objects)
+            return None
+        self._begin_read_only(client, start_time, tid, objects)
+        return start_time
+
+    def _client_done(self, client: CohortClient) -> None:
+        self.state.clients_done += 1
+
+    # ------------------------------------------------------------------
+    # the inline chain: think delays, cache hits, commits
+    # ------------------------------------------------------------------
+    def _advance(self, client: CohortClient, now: float, first: bool) -> None:
+        """Drive ``client`` forward from ``now`` until it blocks on a
+        broadcast slot, hands off to an update process, or finishes.
+
+        Collapses the per-process chain of think-time timeouts and cache
+        hits into local computation: every value observed (cache content,
+        validator state, RNG draws) is private to the client, so nothing
+        the rest of the simulation does between ``now`` and the computed
+        slot wait can change the outcome.
+        """
+        config = self.config
+        metrics = self.metrics
+        cache = client.cache
+        random_ = client.rng.random
+        op_lambd = self._op_lambd
+        delay_first = config.delay_before_first_operation
+        while True:
+            runtime = client.runtime
+            assert runtime is not None
+            issue = now
+            if not first or delay_first:
+                issue = now - _log(1.0 - random_()) / op_lambd
+            obj = runtime.next_object
+            assert obj is not None
+            entry = cache.lookup(obj, issue) if cache is not None else None
+            if entry is None:
+                self._seek_slot(client, obj, issue)
+                return
+            metrics.cache_hits += 1
+            outcome = runtime.deliver(entry.as_broadcast())
+            if outcome.ok:
+                metrics.reads_delivered += 1
+                if runtime.is_done:
+                    start_time = self._commit_and_continue(client, issue)
+                    if start_time is None:
+                        return
+                    now, first = start_time, True
+                else:
+                    now, first = issue, False
+            else:
+                metrics.reads_rejected += 1
+                assert cache is not None
+                cache.evict(outcome.obj)
+                for read_obj, _cycle in runtime.reads:
+                    cache.evict(read_obj)
+                client.restarts += 1
+                runtime.restart()
+                now, first = issue + config.restart_delay, True
+
+    # ------------------------------------------------------------------
+    # the slot calendar
+    # ------------------------------------------------------------------
+    def _seek_slot(self, client: CohortClient, obj: int, issue: float) -> None:
+        offsets = self._flat_offsets
+        if offsets is not None:
+            # FlatLayout.next_read, inlined (pure arithmetic, no SlotHit)
+            cycle_bits = self._cycle_bits
+            cycle = int(issue // cycle_bits) + 1
+            end = (cycle - 1) * cycle_bits + offsets[obj]
+            if cycle > 1 and end - cycle_bits >= issue:
+                cycle -= 1
+                end -= cycle_bits
+            elif end < issue:
+                cycle += 1
+                end += cycle_bits
+        else:
+            hit = self.layout.next_read(obj, issue)
+            end, cycle = hit.time, hit.cycle
+        bucket = self._buckets.get(end)
+        if bucket is None:
+            bucket = _Bucket(obj, cycle)
+            self._buckets[end] = bucket
+            self._new_buckets.append((end, partial(self._fire, end)))
+        order = self._enqueue_order
+        self._enqueue_order = order + 1
+        bucket.members.append((issue, order, client))
+
+    def _flush_schedules(self) -> None:
+        if self._new_buckets:
+            self.sim.schedule_many(self._new_buckets)
+            self._new_buckets.clear()
+
+    def _fire(self, time: float) -> None:
+        """Process one occupied slot: every client whose wait ends now."""
+        bucket = self._buckets.pop(time)
+        members = bucket.members
+        if len(members) > 1:
+            members.sort()
+        config = self.config
+        metrics = self.metrics
+        obj = bucket.obj
+
+        # phase 1 — radio loss: each lost client retries the object's
+        # next appearance (drawn per client, in issue order, exactly as
+        # the per-process loop would at its own slot event)
+        loss = config.broadcast_loss_probability
+        if loss > 0.0:
+            survivors: List[CohortClient] = []
+            for _issue, _order, client in members:
+                if client.rng.random() < loss:
+                    metrics.broadcast_losses += 1
+                    self._seek_slot(client, obj, time + 1.0)
+                else:
+                    survivors.append(client)
+        else:
+            survivors = [member[2] for member in members]
+        if not survivors:
+            self._flush_schedules()
+            return
+
+        # phase 2 — one batched read-condition evaluation for the bucket
+        broadcast = self.state.broadcast_for(bucket.cycle)
+        snapshot = broadcast.snapshot
+        if len(survivors) > 1:
+            ok_list = self._batch_validate(
+                [client.validator for client in survivors], obj, snapshot
+            )
+        else:
+            ok_list = [survivors[0].validator.validate_read(obj, snapshot)]
+
+        # phase 3 — apply per-client consequences in issue order.  The
+        # cache-less, untraced, flat-layout combination (the large-
+        # population regime this executor exists for) takes a fully
+        # inlined lane: the think draw, slot arithmetic and bucket append
+        # mirror _advance/_seek_slot statement for statement, shedding
+        # only the call overhead — which, at thousands of reads per
+        # wall-clock millisecond, is the dominant remaining cost.  The
+        # oracle equivalence tests exercise both lanes.
+        offsets = self._flat_offsets
+        fast = self.trace is None and offsets is not None
+        buckets = self._buckets
+        new_buckets = self._new_buckets
+        cycle_bits = self._cycle_bits
+        op_lambd = self._op_lambd
+        restart_delay = config.restart_delay
+        delay_first = config.delay_before_first_operation
+        untraced = self.trace is None
+        delivered = 0
+        for ok, client in zip(ok_list, survivors):
+            runtime = client.runtime  # never None for a bucketed client
+            if fast and client.cache is None:
+                if ok:
+                    delivered += 1
+                    index = runtime.apply_read_ok_untraced()
+                    if index >= client.txn_len:
+                        start_time = self._commit_and_continue(client, time)
+                        if start_time is None:
+                            continue
+                        issue = start_time
+                        if delay_first:
+                            issue -= _log(1.0 - client.rng.random()) / op_lambd
+                        next_obj = client.runtime.objects[0]
+                    else:
+                        issue = time - _log(1.0 - client.rng.random()) / op_lambd
+                        next_obj = runtime.objects[index]
+                else:
+                    metrics.reads_rejected += 1
+                    client.restarts += 1
+                    runtime.restart()
+                    issue = time + restart_delay
+                    if delay_first:
+                        issue -= _log(1.0 - client.rng.random()) / op_lambd
+                    next_obj = runtime.objects[0]
+                # _seek_slot, inlined (flat layout guaranteed by `fast`)
+                cycle = int(issue // cycle_bits) + 1
+                end = (cycle - 1) * cycle_bits + offsets[next_obj]
+                if cycle > 1 and end - cycle_bits >= issue:
+                    cycle -= 1
+                    end -= cycle_bits
+                elif end < issue:
+                    cycle += 1
+                    end += cycle_bits
+                slot_bucket = buckets.get(end)
+                if slot_bucket is None:
+                    slot_bucket = _Bucket(next_obj, cycle)
+                    buckets[end] = slot_bucket
+                    new_buckets.append((end, partial(self._fire, end)))
+                order = self._enqueue_order
+                self._enqueue_order = order + 1
+                slot_bucket.members.append((issue, order, client))
+                continue
+            cache = client.cache
+            if cache is not None:
+                cache.insert(broadcast, obj, time)
+            if ok:
+                if untraced:
+                    runtime.apply_read_ok_untraced()
+                else:
+                    runtime.apply_read_ok(broadcast)
+                delivered += 1
+                if runtime.is_done:
+                    start_time = self._commit_and_continue(client, time)
+                    if start_time is not None:
+                        self._advance(client, start_time, first=True)
+                else:
+                    self._advance(client, time, first=False)
+            else:
+                runtime.aborted = True
+                metrics.reads_rejected += 1
+                if cache is not None:
+                    cache.evict(obj)
+                    for read_obj, _cycle in runtime.reads:
+                        cache.evict(read_obj)
+                client.restarts += 1
+                runtime.restart()
+                self._advance(client, time + restart_delay, first=True)
+        metrics.reads_delivered += delivered
+        metrics.listening_bits += self._slot_bits * len(survivors)
+        self._flush_schedules()
+
+    # ------------------------------------------------------------------
+    # update transactions: the per-process escape hatch
+    # ------------------------------------------------------------------
+    def _update_loop(
+        self,
+        client: CohortClient,
+        start_time: float,
+        tid: str,
+        objects: Sequence[int],
+    ) -> "SimEvents":
+        """Run consecutive *update* transactions as a real process.
+
+        Reuses the exact per-process attempt/submit code so uplink
+        timing, server-side validation and restart behaviour stay
+        bit-identical; hands the client back to the cohort as soon as a
+        read-only transaction is drawn.
+        """
+        sim = self.sim
+        config = self.config
+        yield WaitUntil(start_time)
+        while True:
+            runtime = ClientUpdateTransactionRuntime(  # rep: allow-alloc — per txn
+                tid, objects, client.validator
+            )
+            client.runtime = runtime
+            num_writes = max(
+                1, round(len(objects) * config.client_update_write_fraction)
+            )
+            write_objs = list(objects[:num_writes])
+            submit_time = sim.now
+            restarts = 0
+            while True:  # attempts
+                committed = yield from _attempt(
+                    sim,
+                    config,
+                    runtime,
+                    self.layout,
+                    self.state,
+                    self.metrics,
+                    client.rng,
+                    client.cache,
+                )
+                if committed:
+                    committed = yield from _submit_update(
+                        sim, config, runtime, write_objs, self.server, self.metrics
+                    )
+                if committed:
+                    break
+                restarts += 1
+                runtime.restart()
+                if config.restart_delay > 0:
+                    yield Timeout(config.restart_delay)  # rep: allow-alloc
+            self.metrics.record_commit(tid, submit_time, sim.now, restarts)
+            yield Timeout(  # rep: allow-alloc
+                client.rng.expovariate(1.0 / config.mean_inter_transaction_delay)
+            )
+            client.txn_index += 1
+            if client.txn_index >= config.num_client_transactions:
+                self.state.clients_done += 1
+                return
+            tid, objects = self._draw_transaction(client)
+            if not self._draw_is_update(client):
+                self._begin_read_only(client, sim.now, tid, objects)
+                self._advance(client, sim.now, first=True)
+                self._flush_schedules()
+                return

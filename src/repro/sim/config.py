@@ -58,6 +58,10 @@ class SimulationConfig:
     measure_fraction: float = 0.5
     num_clients: int = 1
     seed: int = 42
+    #: "process" — one simulator process per client (the oracle path);
+    #: "cohort" — slot-coalesced batched execution for large read-only
+    #: populations (bit-identical results, far fewer kernel events)
+    client_executor: str = "process"
 
     # -- modelling choices (documented in DESIGN.md) ----------------------
     #: "exponential" (default) or "deterministic" server completion gaps
@@ -124,6 +128,8 @@ class SimulationConfig:
             raise ValueError("unknown server_interval_distribution")
         if self.num_clients < 1:
             raise ValueError("num_clients must be >= 1")
+        if self.client_executor not in ("process", "cohort"):
+            raise ValueError("client_executor must be 'process' or 'cohort'")
         if not 0.0 <= self.client_update_fraction <= 1.0:
             raise ValueError("client_update_fraction must be in [0, 1]")
         if not 0.0 < self.client_update_write_fraction <= 1.0:

@@ -30,7 +30,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Generator, Iterator, List, Optional, Tuple, Union
+from functools import partial
+from typing import Callable, Generator, Iterator, List, Optional, Sequence, Tuple, Union
 
 __all__ = ["Timeout", "WaitUntil", "Waive", "Process", "Simulator", "SimClockError"]
 
@@ -69,16 +70,23 @@ ProcessGen = Generator[Directive, None, None]
 class Process:
     """Handle to a spawned process."""
 
-    __slots__ = ("name", "_gen", "alive")
+    __slots__ = ("name", "_gen", "alive", "_step")
 
     def __init__(self, gen: ProcessGen, name: str):
         self._gen = gen
         self.name = name
         self.alive = True
+        #: bound step callable, installed by :meth:`Simulator.spawn` — the
+        #: heap stores this directly so dispatch needs no type inspection
+        self._step: Callable[[], None] = _unspawned
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "done"
         return f"Process({self.name}, {state})"
+
+
+def _unspawned() -> None:  # pragma: no cover - defensive placeholder
+    raise RuntimeError("process stepped before being spawned")
 
 
 class Simulator:
@@ -86,7 +94,7 @@ class Simulator:
 
     def __init__(self):
         self._now: float = 0.0
-        self._queue: List[Tuple[float, int, object]] = []
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._event_count = 0
 
@@ -107,10 +115,39 @@ class Simulator:
             raise SimClockError(f"cannot schedule at {time} < now {self._now}")
         heapq.heappush(self._queue, (time, next(self._seq), action))
 
+    def schedule_many(
+        self, items: Sequence[Tuple[float, Callable[[], None]]]
+    ) -> None:
+        """Schedule a batch of ``(time, action)`` callbacks in one pass.
+
+        Equivalent to calling :meth:`schedule` for each pair in order
+        (sequence numbers are assigned in iteration order, so same-time
+        ordering is preserved), but amortises the heap maintenance: when
+        the batch rivals the queue in size a single ``heapify`` beats
+        element-wise sift-up.
+        """
+        for time, _action in items:
+            if time < self._now:
+                raise SimClockError(
+                    f"cannot schedule at {time} < now {self._now}"
+                )
+        queue = self._queue
+        if len(items) > 4 and len(items) * 4 >= len(queue):
+            queue.extend(
+                (time, next(self._seq), action) for time, action in items
+            )
+            heapq.heapify(queue)
+        else:
+            for time, action in items:
+                heapq.heappush(queue, (time, next(self._seq), action))
+
     def spawn(self, gen: ProcessGen, name: str = "process") -> Process:
         """Start a generator process now (first step runs when due)."""
         process = Process(gen, name)
-        heapq.heappush(self._queue, (self._now, next(self._seq), process))
+        # the heap carries the bound step callable, precomputed once per
+        # process — dispatch is then a plain call, no isinstance chain
+        process._step = partial(self._step_process, process)
+        heapq.heappush(self._queue, (self._now, next(self._seq), process._step))
         return process
 
     # ------------------------------------------------------------------
@@ -123,51 +160,74 @@ class Simulator:
     ) -> float:
         """Process events until the queue drains or a limit triggers.
 
-        * ``until`` — stop before processing events later than this time;
-        * ``stop_when`` — predicate evaluated after every event;
+        * ``until`` — process every event at time <= ``until``, then stop
+          with the clock advanced to exactly ``until`` — also when the
+          queue drains earlier, so ``run(until=T)`` always returns ``T``
+          ("simulate through T") unless ``stop_when``/``max_events``
+          fires first;
+        * ``stop_when`` — predicate evaluated after every event; stops at
+          the current event's time;
         * ``max_events`` — hard safety cap.
 
         Returns the simulation time at stop.
         """
-        while self._queue:
-            time, _seq, item = self._queue[0]
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            time = entry[0]
             if until is not None and time > until:
                 self._now = until
-                break
-            heapq.heappop(self._queue)
+                return until
+            heapq.heappop(queue)
             if time < self._now:  # pragma: no cover - guarded at insert
                 raise SimClockError("event queue went backwards")
             self._now = time
             self._event_count += 1
-            self._dispatch(item)
+            entry[2]()
             if stop_when is not None and stop_when():
-                break
+                return self._now
             if max_events is not None and self._event_count >= max_events:
                 raise RuntimeError(f"exceeded max_events={max_events}")
+        if until is not None and until > self._now:
+            self._now = until
         return self._now
 
-    def _dispatch(self, item: object) -> None:
-        if isinstance(item, Process):
-            self._step(item)
-        else:
-            item()  # type: ignore[operator]
-
-    def _step(self, process: Process) -> None:
+    def _step_process(self, process: Process) -> None:
         try:
             directive = process._gen.send(None)
         except StopIteration:
             process.alive = False
             return
-        if isinstance(directive, Timeout):
+        # exact-class dispatch on the hot path (directives are frozen
+        # dataclasses, virtually never subclassed); subclass directives
+        # take the isinstance fallback
+        cls = directive.__class__
+        if cls is Timeout:
             resume_at = self._now + directive.delay
-        elif isinstance(directive, WaitUntil):
+        elif cls is WaitUntil:
             if directive.time < self._now:
                 raise SimClockError(
                     f"WaitUntil({directive.time}) in the past (now {self._now})"
                 )
             resume_at = directive.time
-        elif isinstance(directive, Waive):
+        elif cls is Waive:
             resume_at = self._now
         else:
-            raise TypeError(f"process yielded {directive!r}, not a directive")
-        heapq.heappush(self._queue, (resume_at, next(self._seq), process))
+            resume_at = self._resume_time(directive)
+        heapq.heappush(
+            self._queue, (resume_at, next(self._seq), process._step)
+        )
+
+    def _resume_time(self, directive: Directive) -> float:
+        """Directive resolution for subclassed directives (cold path)."""
+        if isinstance(directive, Timeout):
+            return self._now + directive.delay
+        if isinstance(directive, WaitUntil):
+            if directive.time < self._now:
+                raise SimClockError(
+                    f"WaitUntil({directive.time}) in the past (now {self._now})"
+                )
+            return directive.time
+        if isinstance(directive, Waive):
+            return self._now
+        raise TypeError(f"process yielded {directive!r}, not a directive")

@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["TransactionSample", "SummaryStat", "MetricsCollector", "summarize"]
 
 #: two-sided 97.5% standard-normal quantile (large-sample t fallback)
@@ -33,10 +35,20 @@ def _t_quantile_975(dof: int) -> float:
 class TransactionSample:
     """One committed client transaction's measurements."""
 
+    __slots__ = ("tid", "submit_time", "commit_time", "restarts")
+
     tid: str
     submit_time: float
     commit_time: float
     restarts: int
+
+    def __reduce__(self):
+        # frozen + manual __slots__ (py3.9-compatible) defeats the
+        # default pickle path; parallel sweeps ship samples to workers
+        return (
+            self.__class__,
+            (self.tid, self.submit_time, self.commit_time, self.restarts),
+        )
 
     @property
     def response_time(self) -> float:
@@ -99,10 +111,29 @@ def batch_means(values: Sequence[float], num_batches: int = 10) -> SummaryStat:
 
 
 class MetricsCollector:
-    """Accumulates per-transaction samples during a run."""
+    """Accumulates per-transaction samples during a run.
+
+    Commit measurements live in growing numpy accumulators (parallel
+    float64/int64 arrays plus a tid list) rather than a list of sample
+    objects: recording a commit is three scalar stores and a list
+    append, with no per-commit object construction on the hot path.
+    :attr:`samples` materialises :class:`TransactionSample` objects
+    lazily — statistics and tests see exactly the values recorded
+    (``.tolist()`` yields the identical python floats), the simulation
+    loop never pays for them.
+    """
+
+    #: initial accumulator capacity (doubles when exhausted)
+    _INITIAL_CAPACITY = 256
 
     def __init__(self):
-        self.samples: List[TransactionSample] = []
+        self._tids: List[str] = []
+        self._submit_times = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._commit_times = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._restart_counts = np.zeros(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._capacity = self._INITIAL_CAPACITY
+        self._count = 0
+        self._samples_cache: Optional[List[TransactionSample]] = None
         self.reads_delivered = 0
         self.reads_rejected = 0
         self.cache_hits = 0
@@ -118,15 +149,54 @@ class MetricsCollector:
     def record_commit(
         self, tid: str, submit_time: float, commit_time: float, restarts: int
     ) -> None:
-        self.samples.append(
-            TransactionSample(tid, submit_time, commit_time, restarts)
-        )
+        count = self._count
+        if count == self._capacity:
+            grow_f = np.zeros(self._capacity, dtype=np.float64)
+            self._submit_times = np.concatenate([self._submit_times, grow_f])
+            self._commit_times = np.concatenate([self._commit_times, grow_f])
+            self._restart_counts = np.concatenate(
+                [self._restart_counts, np.zeros(self._capacity, dtype=np.int64)]
+            )
+            self._capacity *= 2
+        self._tids.append(tid)
+        self._submit_times[count] = submit_time
+        self._commit_times[count] = commit_time
+        self._restart_counts[count] = restarts
+        self._count = count + 1
+
+    @property
+    def samples(self) -> List[TransactionSample]:
+        """Recorded commits as sample objects, in recording order.
+
+        Materialised on first access and reused until another commit is
+        recorded (the accumulators are append-only, so a cache of the
+        right length is current by construction).
+        """
+        cache = self._samples_cache
+        count = self._count
+        if cache is None or len(cache) != count:
+            submits = self._submit_times[:count].tolist()
+            commits = self._commit_times[:count].tolist()
+            restarts = self._restart_counts[:count].tolist()
+            cache = [
+                TransactionSample(tid, submits[i], commits[i], restarts[i])
+                for i, tid in enumerate(self._tids)
+            ]
+            self._samples_cache = cache
+        return cache
 
     def steady_state(self, measure_fraction: float) -> List[TransactionSample]:
-        """The final ``measure_fraction`` of samples, in commit order."""
+        """The final ``measure_fraction`` of samples, in commit order.
+
+        Ties on commit time are broken by transaction id so the window —
+        and everything derived from it — is a pure function of the
+        recorded set, independent of the recording order (the process
+        and cohort executors interleave same-instant commits of
+        *different* clients differently).
+        """
         if not 0 < measure_fraction <= 1:
             raise ValueError("measure_fraction must be in (0, 1]")
-        ordered = sorted(self.samples, key=lambda s: s.commit_time)
+        ordered = sorted(self.samples, key=lambda s: (s.commit_time, s.tid))
         start = int(len(ordered) * (1 - measure_fraction))
         return ordered[start:]
 
@@ -141,9 +211,9 @@ class MetricsCollector:
 
     def mean_listening_per_commit(self) -> float:
         """Tuning time (bits listened) per committed transaction."""
-        if not self.samples:
+        if self._count == 0:
             return 0.0
-        return self.listening_bits / len(self.samples)
+        return self.listening_bits / self._count
 
     def response_time_batch_means(
         self, measure_fraction: float = 0.5, num_batches: int = 10

@@ -46,6 +46,10 @@ __all__ = ["SharedState", "cycle_process", "server_process", "client_process"]
 SimEvents = Generator[Union[Timeout, WaitUntil], None, None]
 SimAttempt = Generator[Union[Timeout, WaitUntil], None, bool]
 
+#: the 1-bit re-tune pause after a lost slot; immutable, so one shared
+#: instance serves every loss event in every client
+_LOSS_RETUNE = Timeout(1.0)
+
 
 @dataclass
 class SharedState:
@@ -86,13 +90,15 @@ def cycle_process(
 ) -> "SimEvents":
     """Freeze and 'transmit' one broadcast image per cycle, forever."""
     cycle = 0
+    # the events are immutable descriptors: one instance serves every cycle
+    cycle_tick = Timeout(layout.cycle_bits)
     while True:
         cycle += 1
         broadcast = server.begin_cycle(cycle)
         state.advance(broadcast)
         if trace is not None and trace.record_cycles:
             trace.record_cycle(broadcast)
-        yield Timeout(layout.cycle_bits)
+        yield cycle_tick
 
 
 def server_process(
@@ -111,7 +117,7 @@ def server_process(
             gap = config.server_txn_interval
         else:
             gap = rng.expovariate(1.0 / config.server_txn_interval)
-        yield Timeout(gap)
+        yield Timeout(gap)  # rep: allow-alloc — the gap varies per event
         spec = workload.next_transaction()
         if not spec.write_set:
             continue  # read-only at the server: nothing to install
@@ -143,6 +149,7 @@ def client_process(
     submission over the uplink for backward validation — a rejection
     restarts the transaction just like a failed read.
     """
+    restart_pause = Timeout(config.restart_delay) if config.restart_delay > 0 else None
     for _txn_index in range(config.num_client_transactions):
         tid, objects = workload.next_transaction()
         tid = f"cl{client_id}.{tid}"
@@ -177,8 +184,8 @@ def client_process(
                 break
             restarts += 1
             runtime.restart()
-            if config.restart_delay > 0:
-                yield Timeout(config.restart_delay)
+            if restart_pause is not None:
+                yield restart_pause
 
         metrics.record_commit(tid, submit_time, sim.now, restarts)
         if trace is not None and not is_update:
@@ -238,7 +245,7 @@ def _attempt(
         if broadcast is None:
             while True:
                 hit = layout.next_read(obj, sim.now)
-                yield WaitUntil(hit.time)
+                yield WaitUntil(hit.time)  # rep: allow-alloc — a new slot per retry
                 if (
                     config.broadcast_loss_probability > 0.0
                     and rng.random() < config.broadcast_loss_probability
@@ -246,7 +253,7 @@ def _attempt(
                     # radio loss: the slot went by unheard; catch the
                     # object's next appearance
                     metrics.broadcast_losses += 1
-                    yield Timeout(1.0)
+                    yield _LOSS_RETUNE
                     continue
                 break
             broadcast = state.broadcast_for(hit.cycle)

@@ -28,6 +28,7 @@ from ..client.cache import QuasiCache
 from ..core.validators import make_validator
 from ..server.server import BroadcastServer
 from ..server.workload import ClientWorkload, ServerWorkload
+from .cohort import CohortClient, CohortExecutor
 from .config import SimulationConfig
 from .engine import Simulator
 from .metrics import MetricsCollector, SummaryStat
@@ -137,6 +138,7 @@ class BroadcastSimulation:
             ),
             name="server",
         )
+        cohort_clients: List[CohortClient] = []
         for k in range(config.num_clients):
             cache = None
             if config.cache_currency_bound is not None:
@@ -148,6 +150,17 @@ class BroadcastSimulation:
                 arithmetic=config.arithmetic(),
                 partition=config.partition(),
             )
+            if config.client_executor == "cohort":
+                cohort_clients.append(
+                    CohortClient(
+                        k,
+                        self._client_workloads[k],
+                        validator,
+                        self._client_rngs[k],
+                        cache,
+                    )
+                )
+                continue
             sim.spawn(
                 client_process(
                     sim,
@@ -165,6 +178,17 @@ class BroadcastSimulation:
                 ),
                 name=f"client-{k}",
             )
+        if cohort_clients:
+            CohortExecutor(
+                sim=sim,
+                config=config,
+                layout=self.layout,
+                state=self.state,
+                server=self.server,
+                metrics=self.metrics,
+                clients=cohort_clients,
+                trace=self.trace,
+            ).start()
 
         sim.run(stop_when=lambda: self.state.all_clients_done, max_events=max_events)
 

@@ -45,6 +45,16 @@ def close_enough(x):
 def helper():
     return 1
 ''',
+    "REP006": '''\
+__all__ = []
+
+class Tick:
+    pass
+
+def process(sim):
+    while True:
+        yield Tick()
+''',
 }
 
 
@@ -124,6 +134,55 @@ class TestRules:
             "    return time.time()  # noqa: REP004\n",
         )
         assert {f.rule for f in lint_file(path)} == {"REP001"}
+
+    def test_allow_alloc_suppresses_hot_loop_allocation(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "allowed_alloc.py",
+            "__all__ = []\n\n\nclass Tick:\n    pass\n\n\n"
+            "def process(sim):\n"
+            "    while True:\n"
+            "        yield Tick()  # rep: allow-alloc\n",
+        )
+        assert lint_file(path) == []
+
+    def test_hoisted_event_not_flagged(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "hoisted.py",
+            "__all__ = []\n\n\nclass Tick:\n    pass\n\n\n"
+            "def process(sim):\n"
+            "    tick = Tick()\n"
+            "    while True:\n"
+            "        yield tick\n",
+        )
+        assert lint_file(path) == []
+
+    def test_non_generator_loop_not_flagged(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "plain_loop.py",
+            "__all__ = []\n\n\nclass Tick:\n    pass\n\n\n"
+            "def spin():\n"
+            "    while True:\n"
+            "        t = Tick()\n"
+            "        if t:\n"
+            "            return t\n",
+        )
+        assert lint_file(path) == []
+
+    def test_raised_exception_in_hot_loop_not_flagged(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "raising.py",
+            "__all__ = []\n\n\n"
+            "def process(sim):\n"
+            "    while True:\n"
+            "        yield sim.step()\n"
+            "        if sim.done:\n"
+            "            raise RuntimeError('done')\n",
+        )
+        assert lint_file(path) == []
 
     def test_scoped_rules_skip_out_of_scope_package_files(self):
         wallclock = next(r for r in RULES if r.rule_id == "REP001")

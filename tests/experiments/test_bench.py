@@ -6,6 +6,7 @@ import pytest
 
 from repro.experiments.bench import (
     bench_micro,
+    bench_scaling,
     bench_simulations,
     compare_runs,
     main,
@@ -44,6 +45,23 @@ class TestSections:
             assert ra["response_mean"] == rb["response_mean"]
             assert ra["restart_mean"] == rb["restart_mean"]
             assert ra["events"] == rb["events"]
+
+    def test_scaling_points_identical_and_deterministic(self):
+        out = bench_scaling(
+            clients=(4, 16),
+            transactions=2,
+            seed=5,
+            trials=1,
+            include_defaults=False,
+        )
+        assert [p["clients"] for p in out["points"]] == [4, 16]
+        for point in out["points"]:
+            # the cohort executor is a reorganisation, not an approximation
+            assert point["metrics_identical"] is True
+            assert point["cohort_events"] <= point["process_events"]
+            assert point["speedup"] > 0
+        assert out["same_seed_determinism_ok"] is True
+        assert "table1_defaults" not in out
 
     def test_micro_checksums_deterministic(self):
         a = {r["name"]: r["checksum"] for r in tiny_micro()}
@@ -142,3 +160,17 @@ class TestMain:
     def test_unknown_section_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["--sections", "nope", "--output", str(tmp_path / "b.json")])
+
+    def test_scaling_section_writes_scaling_document(self, tmp_path, capsys):
+        out = tmp_path / "scaling.json"
+        assert main([
+            "--smoke", "--label", "s1", "--sections", "scaling",
+            "--output", str(out),
+        ]) == 0
+        document = json.loads(out.read_text())
+        assert document["benchmark"] == "scaling"
+        scaling = document["runs"][0]["scaling"]
+        assert [p["clients"] for p in scaling["points"]] == [8, 64]
+        assert scaling["same_seed_determinism_ok"] is True
+        printed = capsys.readouterr().out
+        assert "same-seed determinism: OK" in printed

@@ -1,0 +1,341 @@
+"""Cohort executor oracle tests (repro.sim.cohort).
+
+The per-process path is the semantics oracle: for every configuration
+the slot-coalesced cohort executor must produce **bit-identical**
+results — same commits with the same submit/commit times and restart
+counts, same counters, same listening bits, same final clock.  These
+tests compare full result signatures across protocols and feature
+combinations (cache, broadcast loss, mixed update transactions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.control_matrix import ControlMatrix
+from repro.core.cycles import ModuloCycles
+from repro.core.validators import (
+    ControlSnapshot,
+    FMatrixValidator,
+    RMatrixValidator,
+    make_validator,
+    validate_read_batch,
+    validate_read_batch_inorder,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.simulation import run_simulation
+
+TINY = dict(
+    num_objects=40,
+    num_clients=5,
+    num_client_transactions=12,
+    client_txn_length=4,
+    server_txn_length=6,
+    object_size_bits=1024,
+    seed=77,
+)
+
+
+def tiny_config(**overrides):
+    params = dict(TINY)
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+def signature(result):
+    """Everything observable about a run, commit order normalised.
+
+    Commits are compared as a sorted multiset: within one simulated
+    instant the two executors may interleave *different clients'*
+    commits differently (client state is private, so the interleaving
+    is unobservable), which permutes the sample list without changing
+    any sample.
+    """
+    m = result.metrics
+    return {
+        "commits": sorted(
+            (s.tid, s.submit_time, s.commit_time, s.restarts) for s in m.samples
+        ),
+        "reads_delivered": m.reads_delivered,
+        "reads_rejected": m.reads_rejected,
+        "cache_hits": m.cache_hits,
+        "broadcast_losses": m.broadcast_losses,
+        "listening_bits": m.listening_bits,
+        "sim_time": result.sim_time,
+        "response_mean": result.response_time.mean,
+        "restart_mean": result.restart_ratio.mean,
+    }
+
+
+def assert_equivalent(cfg):
+    process = signature(run_simulation(cfg))
+    cohort = signature(run_simulation(cfg.replace(client_executor="cohort")))
+    assert process == cohort
+
+
+class TestOracleEquivalence:
+    """Cohort ≡ per-process, bit for bit, on seeded configurations."""
+
+    @pytest.mark.parametrize("seed", (1, 42, 1234))
+    def test_f_matrix(self, seed):
+        assert_equivalent(tiny_config(protocol="f-matrix", seed=seed))
+
+    @pytest.mark.parametrize("seed", (1, 42, 1234))
+    def test_datacycle(self, seed):
+        assert_equivalent(tiny_config(protocol="datacycle", seed=seed))
+
+    @pytest.mark.parametrize("seed", (1, 42, 1234))
+    def test_r_matrix(self, seed):
+        assert_equivalent(tiny_config(protocol="r-matrix", seed=seed))
+
+    def test_group_matrix(self):
+        assert_equivalent(
+            tiny_config(protocol="group-matrix", num_groups=8, seed=11)
+        )
+
+    def test_modulo_timestamps(self):
+        """Modulo arithmetic disables batching; scalar fallback stays exact."""
+        assert_equivalent(
+            tiny_config(protocol="f-matrix", modulo_timestamps=True, seed=5)
+        )
+
+    def test_multi_disk_layout(self):
+        """Non-flat layouts use layout.next_read and the general lane."""
+        assert_equivalent(
+            tiny_config(
+                protocol="f-matrix",
+                layout_kind="multi-disk",
+                client_access_skew=0.6,
+                seed=13,
+            )
+        )
+
+    def test_delay_before_first_operation(self):
+        assert_equivalent(
+            tiny_config(
+                protocol="f-matrix",
+                delay_before_first_operation=True,
+                restart_delay=500.0,
+                seed=21,
+            )
+        )
+
+    def test_dense_population(self):
+        """Many clients per bucket: exercises the batched-validation tiers."""
+        assert_equivalent(
+            SimulationConfig(
+                protocol="f-matrix",
+                num_objects=16,
+                num_clients=48,
+                client_txn_length=8,
+                num_client_transactions=8,
+                mean_inter_operation_delay=4096.0,
+                server_txn_interval=500_000.0,
+                object_size_bits=1024,
+                seed=3,
+            )
+        )
+
+
+class TestFeatureInterplay:
+    """Cohort equivalence composed with the optional subsystems."""
+
+    def test_with_cache(self):
+        assert_equivalent(
+            tiny_config(
+                protocol="f-matrix",
+                cache_currency_bound=2e6,
+                cache_capacity=30,
+                seed=17,
+            )
+        )
+
+    def test_with_broadcast_loss(self):
+        assert_equivalent(
+            tiny_config(
+                protocol="f-matrix", broadcast_loss_probability=0.2, seed=19
+            )
+        )
+
+    def test_with_update_transactions(self):
+        """Update clients run per-process; populations compose exactly."""
+        assert_equivalent(
+            tiny_config(
+                protocol="f-matrix", client_update_fraction=0.3, seed=23
+            )
+        )
+
+    def test_everything_at_once(self):
+        assert_equivalent(
+            tiny_config(
+                protocol="f-matrix",
+                cache_currency_bound=2e6,
+                cache_capacity=30,
+                broadcast_loss_probability=0.1,
+                client_update_fraction=0.25,
+                restart_delay=1000.0,
+                seed=29,
+            )
+        )
+
+    def test_trace_collection_matches(self):
+        """With tracing on, the cohort records the same commits."""
+        from repro.sim.simulation import BroadcastSimulation
+
+        cfg = tiny_config(protocol="f-matrix", seed=31)
+        a = BroadcastSimulation(cfg, collect_trace=True).run()
+        b = BroadcastSimulation(
+            cfg.replace(client_executor="cohort"), collect_trace=True
+        ).run()
+        reads_of = lambda trace: sorted(
+            (r.tid, tuple(r.reads)) for r in trace.client_commits
+        )
+        assert reads_of(a.trace) == reads_of(b.trace)
+
+
+# ----------------------------------------------------------------------
+# batch validation against the scalar oracle
+# ----------------------------------------------------------------------
+
+
+def snapshot_at(cycle, num_objects=12, commits=()):
+    cm = ControlMatrix(num_objects)
+    for at_cycle, reads, writes in commits:
+        cm.apply_commit(at_cycle, reads, writes)
+    return ControlSnapshot(cycle, matrix=cm.snapshot())
+
+
+def grow_history(validators, rng, cycles=6, num_objects=12):
+    """Feed each validator a random in-order read history."""
+    cm = ControlMatrix(num_objects)
+    for cycle in range(1, cycles + 1):
+        if rng.random() < 0.6:
+            writes = rng.sample(range(num_objects), 2)
+            cm.apply_commit(cycle, [], writes)
+        snap = ControlSnapshot(cycle, matrix=cm.snapshot())
+        for v in validators:
+            if rng.random() < 0.7:
+                v.validate_read(rng.randrange(num_objects), snap)
+    return ControlSnapshot(cycles + 1, matrix=cm.snapshot())
+
+
+class TestBatchValidation:
+    @pytest.mark.parametrize("n_clients", (3, 12, 40))
+    def test_matches_sequential_validate_read(self, n_clients):
+        """One batched call ≡ validate_read per member, results and R_t.
+
+        The sizes cross the scalar / shared-column tier boundary; the
+        gather tier is covered by test_gather_tier below.
+        """
+        import random as random_mod
+
+        rng = random_mod.Random(99)
+        batch = [FMatrixValidator() for _ in range(n_clients)]
+        oracle = [FMatrixValidator() for _ in range(n_clients)]
+        for v in batch + oracle:
+            v.begin()
+        # identical histories for the paired validators
+        rng2 = random_mod.Random(99)
+        snap = grow_history(batch, rng)
+        grow_history(oracle, rng2)
+        obj = 7
+        got = validate_read_batch(batch, obj, snap)
+        want = [v.validate_read(obj, snap) for v in oracle]
+        assert list(got) == want
+        for vb, vo in zip(batch, oracle):
+            assert [(r.obj, r.cycle) for r in vb.records] == [
+                (r.obj, r.cycle) for r in vo.records
+            ]
+
+    def test_inorder_variant_matches_general(self):
+        import random as random_mod
+
+        rng = random_mod.Random(7)
+        batch = [FMatrixValidator() for _ in range(20)]
+        oracle = [FMatrixValidator() for _ in range(20)]
+        rng2 = random_mod.Random(7)
+        snap = grow_history(batch, rng)
+        grow_history(oracle, rng2)
+        got = validate_read_batch_inorder(batch, 3, snap)
+        want = validate_read_batch(oracle, 3, snap)
+        assert list(got) == list(want)
+
+    def test_gather_tier(self):
+        """Enough R_t entries to hit the fancy-indexed numpy path."""
+        import random as random_mod
+
+        rng = random_mod.Random(5)
+        batch = [FMatrixValidator() for _ in range(80)]
+        oracle = [FMatrixValidator() for _ in range(80)]
+        rng2 = random_mod.Random(5)
+        snap = grow_history(batch, rng, cycles=14)
+        grow_history(oracle, rng2, cycles=14)
+        total = sum(v._count for v in batch)
+        assert total >= 512, "test must exercise the gather tier"
+        got = validate_read_batch(batch, 2, snap)
+        want = [v.validate_read(2, snap) for v in oracle]
+        assert list(got) == want
+
+    def test_empty_r_t_accepts(self):
+        batch = [FMatrixValidator() for _ in range(10)]
+        snap = snapshot_at(4, commits=[(2, [], [1, 5])])
+        assert all(validate_read_batch(batch, 1, snap))
+        for v in batch:
+            assert [(r.obj, r.cycle) for r in v.records] == [(1, 4)]
+
+    def test_r_matrix_disjunct(self):
+        """Strict condition fails but the first-read state saves the read."""
+        from repro.core.group_matrix import LastWriteVector
+
+        vec = LastWriteVector(12)
+        snap1 = ControlSnapshot(1, vector=vec.snapshot())
+        batch = [RMatrixValidator() for _ in range(10)]
+        oracle = [RMatrixValidator() for _ in range(10)]
+        for v in batch + oracle:
+            assert v.validate_read(0, snap1)
+        # object 0 overwritten later; object 3 untouched since cycle 1
+        vec.apply_commit(3, [], [0])
+        snap2 = ControlSnapshot(5, vector=vec.snapshot())
+        got = validate_read_batch(batch, 3, snap2)
+        want = [v.validate_read(3, snap2) for v in oracle]
+        assert list(got) == want
+        assert all(got)  # the disjunct accepted every member
+
+    def test_mixed_eligibility_falls_back_per_member(self):
+        """Modulo-arithmetic members use their scalar path inside a batch."""
+        snap = snapshot_at(4, commits=[(2, [], [1])])
+        eligible = FMatrixValidator()
+        modulo = FMatrixValidator(ModuloCycles(8))
+        oracle_a = FMatrixValidator()
+        oracle_b = FMatrixValidator(ModuloCycles(8))
+        got = validate_read_batch([eligible, modulo], 6, snap)
+        want = [oracle_a.validate_read(6, snap), oracle_b.validate_read(6, snap)]
+        assert list(got) == want
+
+    def test_shared_record_is_observably_identical(self):
+        """Bucket members share one frozen ReadRecord instance."""
+        batch = [FMatrixValidator() for _ in range(10)]
+        snap = snapshot_at(3)
+        validate_read_batch(batch, 4, snap)
+        records = [v.records[0] for v in batch]
+        assert all(r.obj == 4 and r.cycle == 3 for r in records)
+        # frozen — sharing cannot leak state between clients
+        with pytest.raises(Exception):
+            records[0].cycle = 99
+
+    def test_empty_batch(self):
+        snap = snapshot_at(2)
+        assert list(validate_read_batch([], 0, snap)) == []
+
+
+class TestConfigValidation:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="client_executor"):
+            SimulationConfig(client_executor="threads")
+
+    @pytest.mark.parametrize("protocol", ("f-matrix", "group-matrix"))
+    def test_make_validator_round_trip(self, protocol):
+        cfg = tiny_config(protocol=protocol, num_groups=4)
+        v = make_validator(
+            cfg.protocol, arithmetic=cfg.arithmetic(), partition=cfg.partition()
+        )
+        assert v.name in ("f-matrix", "group-matrix")

@@ -167,3 +167,70 @@ class TestRunLimits:
         sim.spawn(self._ticker(sim, log))
         sim.run(until=50)
         assert sim.events_processed == 6  # spawn step + 5 ticks
+
+    def test_until_returned_when_queue_drains_early(self):
+        # run(until=T) means "simulate through T": even when the last
+        # event fires before T the clock ends (and the call returns) at T
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(10)
+
+        sim.spawn(proc())
+        assert sim.run(until=100) == 100
+        assert sim.now == 100
+
+    def test_until_on_empty_queue_advances_clock(self):
+        sim = Simulator()
+        assert sim.run(until=7) == 7
+        assert sim.now == 7
+
+    def test_until_in_past_of_drained_clock_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(10)
+
+        sim.spawn(proc())
+        sim.run()
+        assert sim.now == 10
+        assert sim.run(until=5) == 10  # never move time backwards
+
+    def test_stop_when_beats_until_normalization(self):
+        sim = Simulator()
+        log = []
+        sim.spawn(self._ticker(sim, log))
+        assert sim.run(until=100, stop_when=lambda: len(log) >= 2) == 20
+
+
+class TestScheduleMany:
+    def test_matches_elementwise_schedule(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_many(
+            [(t, (lambda t=t: fired.append(t))) for t in (30, 10, 20, 10)]
+        )
+        sim.run()
+        # time order, same-time ties in submission order
+        assert fired == [10, 10, 20, 30]
+
+    def test_interleaves_with_existing_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(15, lambda: fired.append("single"))
+        sim.schedule_many(
+            [(t, (lambda t=t: fired.append(t))) for t in range(10, 60, 10)]
+        )
+        sim.run()
+        assert fired == [10, "single", 20, 30, 40, 50]
+
+    def test_past_time_rejected_atomically(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(10)
+
+        sim.spawn(proc())
+        sim.run()
+        with pytest.raises(SimClockError):
+            sim.schedule_many([(20, lambda: None), (5, lambda: None)])

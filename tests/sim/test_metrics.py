@@ -77,3 +77,47 @@ class TestMetricsCollector:
         m = MetricsCollector()
         m.record_commit("a", 10.0, 35.0, 0)
         assert m.samples[0].response_time == 25.0
+
+    def test_accumulators_grow_past_initial_capacity(self):
+        m = MetricsCollector()
+        n = MetricsCollector._INITIAL_CAPACITY * 2 + 3
+        self._fill(m, n)
+        samples = m.samples
+        assert len(samples) == n
+        assert samples[-1].tid == f"t{n - 1}"
+        assert samples[-1].submit_time == (n - 1) * 100.0
+        assert samples[-1].restarts == (n - 1) % 3
+
+    def test_samples_cache_reused_and_refreshed(self):
+        m = MetricsCollector()
+        self._fill(m, 3)
+        first = m.samples
+        assert m.samples is first  # cached between commits
+        m.record_commit("late", 0.0, 1.0, 0)
+        refreshed = m.samples
+        assert refreshed is not first
+        assert len(refreshed) == 4 and refreshed[-1].tid == "late"
+
+    def test_samples_preserve_recording_order(self):
+        m = MetricsCollector()
+        m.record_commit("z", 0.0, 50.0, 0)
+        m.record_commit("a", 0.0, 10.0, 1)
+        assert [s.tid for s in m.samples] == ["z", "a"]
+
+    def test_steady_state_breaks_commit_ties_by_tid(self):
+        """Same-instant commits order by tid, not by recording order."""
+        m1, m2 = MetricsCollector(), MetricsCollector()
+        commits = [("b", 0.0, 100.0, 0), ("a", 0.0, 100.0, 1), ("c", 0.0, 99.0, 2)]
+        for c in commits:
+            m1.record_commit(*c)
+        for c in reversed(commits):
+            m2.record_commit(*c)
+        order1 = [s.tid for s in m1.steady_state(1.0)]
+        order2 = [s.tid for s in m2.steady_state(1.0)]
+        assert order1 == order2 == ["c", "a", "b"]
+
+    def test_restarts_materialise_as_python_ints(self):
+        m = MetricsCollector()
+        m.record_commit("a", 0.0, 1.0, 5)
+        assert type(m.samples[0].restarts) is int
+        assert type(m.samples[0].commit_time) is float
