@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint typecheck audit bench-smoke
+.PHONY: check test lint typecheck audit bench-smoke faults-smoke
 
 check: test lint typecheck
 
@@ -35,3 +35,11 @@ bench-smoke:
 		--label ci-smoke --output bench-smoke.json
 	$(PYTHON) -m repro.experiments.bench --smoke --sections scaling \
 		--label ci-smoke-scaling --output bench-scaling-smoke.json
+
+# fault-injection resilience report (docs/FAULTS.md): doze through a
+# full wrap window, crash the server mid-run, drop uplink submissions —
+# then audit every protocol invariant over the recorded trace.  Exits
+# non-zero on any audit violation.
+faults-smoke:
+	$(PYTHON) -m repro.experiments.cli faults --transactions 40 \
+		--seed 42 --output faults-smoke.json

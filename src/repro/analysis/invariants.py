@@ -20,7 +20,11 @@ The shipped invariants and the paper facts they police:
     carries it (entries are commit cycles of already-committed
     transactions); and in the full matrix every entry of column ``j`` is
     dominated by the diagonal ``C(j, j)`` — members of ``LIVE_H(t_j)``
-    committed no later than ``t_j`` itself.
+    committed no later than ``t_j`` itself.  Under modulo timestamps,
+    anchored decoding is sound only within one wrap window of the
+    snapshot, so the monotone quantity is taken from the broadcast data
+    slots' absolute commit cycles instead and the two anchored-entry
+    checks are skipped (one is vacuous under anchoring, one undecodable).
 
 ``control-agreement``
     Per cycle, the broadcast control information agrees with the
@@ -28,7 +32,19 @@ The shipped invariants and the paper facts they police:
     derivable from the matrix (``max_j C(i, j)``, attained on the
     diagonal), the vector, or the grouped matrix must equal the commit
     cycle carried by the object's broadcast version (Sec. 3.2.2's
-    one-group reduction argument).
+    one-group reduction argument).  Under modulo timestamps the check
+    compares wire residues exactly — the vector (or matrix diagonal)
+    must equal the residue of the version's absolute commit cycle; the
+    grouped matrix exposes no per-object residue cell, so it is exempt.
+
+``wrap-gap-safety``
+    No committed client read-only transaction validated reads spanning a
+    full modulo window or more.  Re-anchored wire timestamps are
+    ambiguous across such a wrap gap (Sec. 3.2.2's ``max_cycles``
+    bound is ``2**timestamp_bits - 1``), so a commit across one means
+    the client-side staleness guard failed — validation may have
+    accepted an aliased, arbitrarily old control entry.  Vacuous for
+    unbounded arithmetic.
 
 ``validation-soundness``
     Every client-accepted read-only transaction must be APPROX-consistent
@@ -52,7 +68,10 @@ The shipped invariants and the paper facts they police:
 ``delta-coherence``
     Delta-encoding the run's matrix snapshots and decoding them back
     reproduces every snapshot exactly (the Sec. 3.2.1 "transmit only
-    changes" extension must be lossless).
+    changes" extension must be lossless).  A gap in the cycle sequence
+    (a crash outage's dead air) restarts the stream: the revived
+    server's encoder state did not survive, so the first post-gap frame
+    is an anchor and the receiver re-synchronises on it.
 
 ``update-serializability``
     The committed update sub-history of the reconstructed history is
@@ -226,6 +245,91 @@ def _minimize_cycle_witness(
     return projected.to_notation()
 
 
+def _last_write_regressions(
+    previous: Tuple[int, np.ndarray],
+    broadcast: "BroadcastCycle",
+    last_write: np.ndarray,
+) -> Iterator[Diagnostic]:
+    """Diagnostics for per-object last-write cycles that went backwards."""
+    prev_cycle, prev_last_write = previous
+    if last_write.shape != prev_last_write.shape:
+        return
+    dropped = np.nonzero(last_write < prev_last_write)[0]
+    if dropped.size:
+        obj = int(dropped[0])
+        yield Diagnostic(
+            invariant="control-monotonicity",
+            message=(
+                f"last-committed-write timestamp decreased "
+                f"between cycles {prev_cycle} and "
+                f"{broadcast.cycle} ({dropped.size} object(s) "
+                "affected)"
+            ),
+            cycle=broadcast.cycle,
+            objects=tuple(int(o) for o in dropped[:8]),
+            witness=(
+                f"last write of object {obj}: cycle "
+                f"{int(prev_last_write[obj])} per the cycle-"
+                f"{prev_cycle} broadcast but cycle "
+                f"{int(last_write[obj])} per the cycle-"
+                f"{broadcast.cycle} broadcast"
+            ),
+        )
+
+
+def _agreement_residues(
+    arithmetic: ModuloCycles, broadcast: "BroadcastCycle", actual: np.ndarray
+) -> Iterator[Diagnostic]:
+    """Residue-exact control/data agreement for modulo timestamps.
+
+    The vector (or the full matrix's diagonal) carries the last-write
+    timestamp of each object directly, so its wire residue must equal
+    ``commit_cycle % window`` of the version broadcast alongside it.
+    """
+    snapshot = broadcast.snapshot
+    matrix = getattr(snapshot, "matrix", None)
+    if matrix is not None:
+        implied = np.diagonal(matrix)
+        cell = "C(i,i)"
+    else:
+        vector = getattr(snapshot, "vector", None)
+        if vector is None:
+            return  # grouped (or no control info): no per-object residue
+        implied = vector
+        cell = "TS(i)"
+    expected = arithmetic.encode_array(actual)
+    if implied.shape != expected.shape:
+        yield Diagnostic(
+            invariant="control-agreement",
+            message=(
+                f"control info covers {implied.shape[0]} objects but the "
+                f"broadcast carries {expected.shape[0]}"
+            ),
+            cycle=broadcast.cycle,
+        )
+        return
+    mismatched = np.nonzero(implied != expected)[0]
+    if mismatched.size:
+        obj = int(mismatched[0])
+        yield Diagnostic(
+            invariant="control-agreement",
+            message=(
+                f"control residue disagrees with broadcast slots on "
+                f"{mismatched.size} object(s)"
+            ),
+            cycle=broadcast.cycle,
+            objects=tuple(int(o) for o in mismatched[:8]),
+            transactions=(broadcast.versions[obj].writer,),
+            witness=(
+                f"object {obj}: {cell} = {int(implied[obj])} but the "
+                f"broadcast version was committed at cycle "
+                f"{int(actual[obj])} ≡ {int(expected[obj])} "
+                f"(mod {arithmetic.window}) by "
+                f"{broadcast.versions[obj].writer!r}"
+            ),
+        )
+
+
 # ----------------------------------------------------------------------
 # invariants
 # ----------------------------------------------------------------------
@@ -238,10 +342,30 @@ def check_control_monotonicity(ctx: AuditContext) -> Iterator[Diagnostic]:
     column (Theorem 2), so the monotone quantity is the per-object
     last-write timestamp.  Additionally no entry may lie in the future of
     its snapshot, and matrix columns are dominated by their diagonal.
+
+    Under :class:`ModuloCycles` the anchored decode aliases for entries
+    older than one window, so on long runs with small windows the decoded
+    comparisons would flag healthy control state.  There the per-object
+    last write is taken from the data slots' absolute commit cycles
+    (which also catches a recovered server resurrecting stale versions),
+    and the two anchored-entry checks are skipped: anchoring can never
+    place an entry at or past its reference, and the column/diagonal
+    comparison is undecodable beyond the window.
     """
+    modulo = isinstance(ctx.arithmetic, ModuloCycles)
     previous: Optional[Tuple[int, np.ndarray]] = None
     for broadcast in ctx.broadcasts:
         snapshot = broadcast.snapshot
+        if modulo:
+            if not broadcast.versions:
+                continue
+            last_write = np.array(
+                [v.commit_cycle for v in broadcast.versions], dtype=np.int64
+            )
+            if previous is not None:
+                yield from _last_write_regressions(previous, broadcast, last_write)
+            previous = (broadcast.cycle, last_write)
+            continue
         array = _control_array(snapshot)
         if array is None:
             continue
@@ -291,44 +415,38 @@ def check_control_monotonicity(ctx: AuditContext) -> Iterator[Diagnostic]:
 
         last_write = decoded.max(axis=1) if decoded.ndim == 2 else decoded
         if previous is not None:
-            prev_cycle, prev_last_write = previous
-            if last_write.shape == prev_last_write.shape:
-                dropped = np.nonzero(last_write < prev_last_write)[0]
-                if dropped.size:
-                    obj = int(dropped[0])
-                    yield Diagnostic(
-                        invariant="control-monotonicity",
-                        message=(
-                            f"last-committed-write timestamp decreased "
-                            f"between cycles {prev_cycle} and "
-                            f"{broadcast.cycle} ({dropped.size} object(s) "
-                            "affected)"
-                        ),
-                        cycle=broadcast.cycle,
-                        objects=tuple(int(o) for o in dropped[:8]),
-                        witness=(
-                            f"last write of object {obj}: cycle "
-                            f"{int(prev_last_write[obj])} per the cycle-"
-                            f"{prev_cycle} snapshot but cycle "
-                            f"{int(last_write[obj])} per the cycle-"
-                            f"{broadcast.cycle} snapshot"
-                        ),
-                    )
+            yield from _last_write_regressions(previous, broadcast, last_write)
         previous = (broadcast.cycle, last_write)
 
 
 @invariant("control-agreement")
 def check_control_agreement(ctx: AuditContext) -> Iterator[Diagnostic]:
-    """Control info agrees with the commit cycles on the broadcast slots."""
+    """Control info agrees with the commit cycles on the broadcast slots.
+
+    Under :class:`ModuloCycles` the absolute comparison is unavailable
+    beyond one window, but the wire residues themselves are exact: the
+    vector entry (or full-matrix diagonal cell) for each object must
+    equal the residue of its version's absolute commit cycle.  The
+    grouped matrix's per-object value is a maximum over group columns —
+    maxima do not commute with residues — so it carries no directly
+    comparable cell and is exempt; the row-vs-diagonal domination check
+    is likewise skipped as undecodable.
+    """
+    modulo = isinstance(ctx.arithmetic, ModuloCycles)
     for broadcast in ctx.broadcasts:
-        implied = _last_write_values(
-            broadcast.snapshot, broadcast.cycle, ctx.arithmetic
-        )
-        if implied is None or not broadcast.versions:
+        if not broadcast.versions:
             continue
         actual = np.array(
             [v.commit_cycle for v in broadcast.versions], dtype=np.int64
         )
+        if modulo:
+            yield from _agreement_residues(ctx.arithmetic, broadcast, actual)
+            continue
+        implied = _last_write_values(
+            broadcast.snapshot, broadcast.cycle, ctx.arithmetic
+        )
+        if implied is None:
+            continue
         if implied.shape != actual.shape:
             yield Diagnostic(
                 invariant="control-agreement",
@@ -379,6 +497,45 @@ def check_control_agreement(ctx: AuditContext) -> Iterator[Diagnostic]:
                         f"max_j C({obj},j) = {int(decoded[obj].max())}"
                     ),
                 )
+
+
+@invariant("wrap-gap-safety")
+def check_wrap_gap_safety(ctx: AuditContext) -> Iterator[Diagnostic]:
+    """No committed read-only transaction validated across a wrap gap.
+
+    Under modulo timestamps a transaction whose reads span a full window
+    (``2**timestamp_bits`` cycles) or more compared re-anchored control
+    entries that are ambiguous relative to its earliest read — the
+    paper's ``max_cycles`` bound, which the client-side staleness guard
+    (:class:`repro.client.runtime.ReadOnlyTransactionRuntime`) enforces
+    by aborting instead.  A commit across the gap means that guard was
+    bypassed or broken.  Vacuous for unbounded arithmetic.
+    """
+    arithmetic = ctx.arithmetic
+    if not isinstance(arithmetic, ModuloCycles):
+        return
+    window = arithmetic.window
+    for record in ctx.client_commits:
+        cycles = [cycle for _obj, cycle in record.reads]
+        if not cycles:
+            continue
+        first, last = min(cycles), max(cycles)
+        if last - first >= window:
+            yield Diagnostic(
+                invariant="wrap-gap-safety",
+                message=(
+                    f"committed read-only transaction validated reads "
+                    f"spanning {last - first} cycles, at least the full "
+                    f"modulo window of {window}; re-anchored timestamps "
+                    "are ambiguous across a wrap gap"
+                ),
+                cycle=last,
+                transactions=(record.tid,),
+                witness=(
+                    f"{record.tid} read at cycles {first}..{last}; "
+                    f"window {window} allows spans up to {window - 1}"
+                ),
+            )
 
 
 @invariant("validation-soundness")
@@ -562,7 +719,15 @@ def check_delta_coherence(ctx: AuditContext) -> Iterator[Diagnostic]:
     n = matrices[0][1].shape[0]
     encoder = DeltaEncoder(n, timestamp_bits=ctx.arithmetic.timestamp_bits)
     decoder = DeltaDecoder(n)
+    previous_cycle: Optional[int] = None
     for cycle, matrix in matrices:
+        if previous_cycle is not None and cycle > previous_cycle + 1:
+            # dead air (server crash outage): the revived server's encoder
+            # state did not survive, so the stream restarts with an anchor
+            # frame and receivers re-synchronise on it
+            encoder = DeltaEncoder(n, timestamp_bits=ctx.arithmetic.timestamp_bits)
+            decoder = DeltaDecoder(n)
+        previous_cycle = cycle
         frame = encoder.encode(cycle, matrix)
         try:
             decoded = decoder.apply(frame)

@@ -49,6 +49,9 @@ class ReadOutcome:
     obj: int
     cycle: int
     version: Optional[ObjectVersion] = None
+    #: the failure was the client-side staleness guard (a wrap-gap abort),
+    #: not the protocol's read condition — fault metrics key off this
+    stale: bool = False
 
     @property
     def value(self) -> object:
@@ -64,14 +67,33 @@ class ReadOnlyTransactionRuntime:
     is cleared too).
     """
 
-    def __init__(self, tid: str, objects: Sequence[int], validator: ReadValidator):
+    def __init__(
+        self,
+        tid: str,
+        objects: Sequence[int],
+        validator: ReadValidator,
+        *,
+        staleness_window: Optional[int] = None,
+    ):
         if not objects:
             raise ValueError("a transaction must read at least one object")
+        if staleness_window is not None and staleness_window < 1:
+            raise ValueError("staleness_window must be >= 1")
         self.tid = tid
         self.objects: Tuple[int, ...] = tuple(objects)
         self.validator = validator
         self.attempt = 0
         self.aborted = False
+        #: doze/wrap guard: with modulo timestamps a client that rejoins
+        #: after missing ``staleness_window`` (= window - 1, the paper's
+        #: ``max_cycles``) cycles can no longer trust re-anchored control
+        #: entries against its retained reads; :meth:`deliver` then aborts
+        #: conservatively instead of validating.  ``None`` disables it.
+        self.staleness_window = staleness_window
+        #: most recent broadcast cycle delivered to this runtime off the
+        #: air; survives :meth:`restart` (the radio's knowledge, not the
+        #: transaction attempt's)
+        self.last_heard_cycle: Optional[int] = None
         self._index = 0
         self._versions: List[ObjectVersion] = []
         self.validator.begin()
@@ -112,6 +134,24 @@ class ReadOnlyTransactionRuntime:
         if obj is None:
             raise RuntimeError(f"{self.tid}: no pending read")
         snapshot = broadcast.snapshot
+        window = self.staleness_window
+        if window is not None:
+            last = self.last_heard_cycle
+            if last is None or snapshot.cycle > last:
+                self.last_heard_cycle = snapshot.cycle
+            if self.validator.records:
+                first = self.validator.first_read_cycle
+                assert first is not None
+                # conservative abort, two triggers: the client dozed
+                # through >= window cycles since its last delivery, or the
+                # attempt's read span exceeds the window (> max_cycles) —
+                # past either bound, re-anchored control entries can no
+                # longer be compared against the retained reads
+                if (last is not None and snapshot.cycle - last >= window) or (
+                    snapshot.cycle - first > window
+                ):
+                    self.aborted = True
+                    return ReadOutcome(False, obj, snapshot.cycle, stale=True)
         if self.validator.validate_read(obj, snapshot):
             version = broadcast.version(obj)
             self._versions.append(version)
@@ -200,8 +240,15 @@ class ClientUpdateTransactionRuntime(ReadOnlyTransactionRuntime):
     the server's backward validation.  Abort discards the local copies.
     """
 
-    def __init__(self, tid: str, objects: Sequence[int], validator: ReadValidator):
-        super().__init__(tid, objects, validator)
+    def __init__(
+        self,
+        tid: str,
+        objects: Sequence[int],
+        validator: ReadValidator,
+        *,
+        staleness_window: Optional[int] = None,
+    ):
+        super().__init__(tid, objects, validator, staleness_window=staleness_window)
         self._writes: Dict[int, object] = {}
 
     @property

@@ -43,6 +43,21 @@ class CycleArithmetic:
         """
         raise NotImplementedError
 
+    def less_encoded_absolute(self, a: int, b: int, *, reference: int) -> bool:
+        """Is encoded timestamp ``a`` < *absolute* cycle ``b``?
+
+        The read condition compares a broadcast control entry (encoded on
+        the wire) against a cycle number the client holds in absolute form
+        (the cycle it performed a read in).  Encoding ``b`` and comparing
+        two re-anchored residues loses information: when ``b`` lies outside
+        the window around ``reference`` the anchor lands a full window away
+        and the comparison silently flips.  Anchoring only the wire-format
+        side against ``reference`` and comparing with the absolute value
+        directly is exact whenever the *entry* is within the window of
+        ``reference`` — the one assumption the paper actually grants.
+        """
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class UnboundedCycles(CycleArithmetic):
@@ -62,6 +77,9 @@ class UnboundedCycles(CycleArithmetic):
         return cycles.copy()
 
     def less(self, a: int, b: int, *, reference: int) -> bool:
+        return a < b
+
+    def less_encoded_absolute(self, a: int, b: int, *, reference: int) -> bool:
         return a < b
 
 
@@ -96,3 +114,25 @@ class ModuloCycles(CycleArithmetic):
 
     def less(self, a: int, b: int, *, reference: int) -> bool:
         return self._anchor(a, reference) < self._anchor(b, reference)
+
+    def less_encoded_absolute(self, a: int, b: int, *, reference: int) -> bool:
+        """Anchored wire entry vs. an absolute cycle the client holds.
+
+        Re-anchoring ``b``'s residue (what :meth:`less` would do) is wrong
+        twice over once ``b`` strays outside the window of ``reference``:
+
+        * ``b > reference`` (a retained cached read postdating the current
+          snapshot) anchors a full window *back*, rejecting reads the
+          unbounded arithmetic accepts;
+        * ``b <= reference - window`` (a transaction spanning the wrap gap)
+          anchors back *onto* recent cycles, silently accepting reads the
+          unbounded arithmetic rejects — an unsound validation.
+
+        Keeping ``b`` absolute removes both failure modes; the comparison
+        is then exact whenever the *entry* ``a`` is within ``window``
+        cycles of ``reference``, which holds for every control entry a
+        client consults while it obeys the paper's ``max_cycles`` bound
+        (the client-side staleness guard enforces exactly that bound on
+        rejoin after a doze).
+        """
+        return self._anchor(a, reference) < b

@@ -234,10 +234,15 @@ class ReadValidator:
         raise NotImplementedError
 
     def _less(self, entry: int, cycle: int, *, now: int) -> bool:
-        """entry < cycle under the configured timestamp arithmetic."""
-        return self.arithmetic.less(
-            entry, self.arithmetic.encode(cycle), reference=now
-        )
+        """entry < cycle under the configured timestamp arithmetic.
+
+        ``entry`` is wire-format (encoded); ``cycle`` is an absolute cycle
+        number the client tracked itself, so it is compared as such —
+        encoding it first would re-anchor it against ``now`` and flip the
+        comparison whenever it lies outside the modulo window (cached
+        out-of-order reads, or a transaction spanning the wrap gap).
+        """
+        return self.arithmetic.less_encoded_absolute(entry, cycle, reference=now)
 
 
 class FMatrixValidator(ReadValidator):

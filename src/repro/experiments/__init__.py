@@ -1,5 +1,12 @@
 """Evaluation harness: one runnable entry per paper figure/table."""
 
+from .faults import (
+    FAULT_PROTOCOLS,
+    FaultRunSummary,
+    faults_config,
+    format_faults_report,
+    run_faults_report,
+)
 from .figures import (
     EXPERIMENTS,
     PAPER_PROTOCOLS,
@@ -32,6 +39,11 @@ __all__ = [
     "table1_overheads",
     "ablation_group_matrix",
     "ablation_caching",
+    "FAULT_PROTOCOLS",
+    "FaultRunSummary",
+    "faults_config",
+    "run_faults_report",
+    "format_faults_report",
     "run_sweep",
     "ExperimentResult",
     "Series",

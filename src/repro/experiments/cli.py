@@ -40,14 +40,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["table1", "all", "list"],
-        help="experiment id (see DESIGN.md's per-experiment index)",
+        choices=sorted(EXPERIMENTS) + ["table1", "faults", "all", "list"],
+        help="experiment id (see DESIGN.md's per-experiment index); "
+        "'faults' runs the fault-injection resilience report "
+        "(docs/FAULTS.md) and exits non-zero on any audit violation",
     )
     parser.add_argument(
         "--transactions",
         type=int,
-        default=1000,
-        help="committed client transactions per data point (paper: 1000)",
+        default=None,
+        help="committed client transactions per data point (default: the "
+        "paper's 1000; the faults report defaults to 30 because audit "
+        "runs record every broadcast cycle)",
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
@@ -75,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart",
         action="store_true",
         help="also draw the curves as an ASCII chart (log-scale y)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="write a JSON summary (faults experiment only)",
     )
     return parser
 
@@ -212,19 +222,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"  {name}")
         print("  table1")
+        print("  faults")
         return 0
 
     if args.experiment == "table1":
         print(format_overheads(table1_overheads()))
         return 0
 
+    if args.experiment == "faults":
+        import json
+
+        from .faults import format_faults_report, run_faults_report
+
+        transactions = 30 if args.transactions is None else args.transactions
+        start = time.time()
+        summaries = run_faults_report(transactions=transactions, seed=args.seed)
+        elapsed = time.time() - start
+        print(format_faults_report(summaries))
+        print(f"[faults] {elapsed:.1f}s wall clock")
+        if args.output is not None:
+            args.output.parent.mkdir(parents=True, exist_ok=True)
+            args.output.write_text(
+                json.dumps([s.to_dict() for s in summaries], indent=2) + "\n"
+            )
+            print(f"wrote {args.output}")
+        return 0 if all(s.audit_ok for s in summaries) else 1
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.experiment == "all":
         print(format_overheads(table1_overheads()))
+    transactions = 1000 if args.transactions is None else args.transactions
     for name in names:
         _run_one(
             name,
-            args.transactions,
+            transactions,
             args.seed,
             args.csv,
             chart=args.chart,

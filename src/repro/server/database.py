@@ -52,6 +52,7 @@ class Database:
         self._working: Dict[int, Tuple[object, str]] = {}
         self._commit_seq = 0
         self._log: List[CommitRecord] = []
+        self._last_broadcast_cycle = 0
 
     # ------------------------------------------------------------------
     @property
@@ -62,6 +63,28 @@ class Database:
     def commit_log(self) -> Tuple[CommitRecord, ...]:
         """All committed update transactions, in serialization order."""
         return tuple(self._log)
+
+    @property
+    def last_broadcast_cycle(self) -> int:
+        """The highest cycle number the server has broadcast (durable).
+
+        Recorded alongside the commit log because the log alone cannot
+        represent *quiescent* cycles — cycles broadcast after the final
+        commit.  Recovery that restores the cycle counter from the last
+        commit's cycle would re-issue those cycle numbers, which breaks
+        :class:`repro.core.cycles.ModuloCycles` anchoring for long-lived
+        readers; restoring from this value cannot.
+        """
+        return self._last_broadcast_cycle
+
+    def record_broadcast_cycle(self, cycle: int) -> None:
+        """Durably note that ``cycle`` went on the air."""
+        if cycle < self._last_broadcast_cycle:
+            raise ValueError(
+                f"broadcast cycles advance (got {cycle}, at "
+                f"{self._last_broadcast_cycle})"
+            )
+        self._last_broadcast_cycle = cycle
 
     def committed(self, obj: int) -> ObjectVersion:
         """The latest committed version of ``obj``."""

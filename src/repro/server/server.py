@@ -90,6 +90,7 @@ class BroadcastServer:
                 f"cycles must advance (got {cycle}, at {self.current_cycle})"
             )
         self.current_cycle = cycle
+        self.database.record_broadcast_cycle(cycle)
         return BroadcastCycle(
             cycle=cycle,
             versions=self.database.committed_snapshot(),
@@ -137,6 +138,37 @@ class BroadcastServer:
             frozen.flags.writeable = False
             self._frozen_vector = frozen
         return ControlSnapshot(cycle, vector=self._frozen_vector)
+
+    # ------------------------------------------------------------------
+    def restore_from(self, revived: "BroadcastServer") -> None:
+        """Adopt a revived server's state in place (mid-run crash recovery).
+
+        The fault-injection crash process rebuilds a server from the
+        durable state via :func:`repro.server.recovery.recover_server` and
+        then swaps the rebuilt state into the live object, so every
+        process holding a reference to the original server transparently
+        talks to the recovered one.
+        """
+        if revived.protocol != self.protocol:
+            raise ValueError(
+                f"cannot restore a {self.protocol!r} server from a "
+                f"{revived.protocol!r} one"
+            )
+        if revived.num_objects != self.num_objects:
+            raise ValueError(
+                f"cannot restore {self.num_objects} objects from "
+                f"{revived.num_objects}"
+            )
+        self.arithmetic = revived.arithmetic
+        self.database = revived.database
+        self.vector = revived.vector
+        self.matrix = revived.matrix
+        self.grouped = revived.grouped
+        self._validator = revived._validator
+        self.current_cycle = revived.current_cycle
+        self._frozen_matrix = revived._frozen_matrix
+        self._frozen_vector = revived._frozen_vector
+        self._frozen_grouped = revived._frozen_grouped
 
     # ------------------------------------------------------------------
     def commit_update(

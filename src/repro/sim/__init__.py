@@ -4,6 +4,7 @@ from .batch import ReplicatedResult, replicate, replication_seeds
 from .cohort import CohortClient, CohortExecutor
 from .config import KILOBYTE_BITS, SimulationConfig
 from .engine import Process, Simulator, Timeout, WaitUntil, Waive
+from .faults import DozeInterval, FaultPlan, FaultRuntime, ServerCrash
 from .metrics import (
     MetricsCollector,
     SummaryStat,
@@ -37,4 +38,8 @@ __all__ = [
     "CohortExecutor",
     "TraceRecorder",
     "ClientCommitRecord",
+    "FaultPlan",
+    "FaultRuntime",
+    "DozeInterval",
+    "ServerCrash",
 ]

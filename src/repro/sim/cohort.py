@@ -138,6 +138,11 @@ class CohortExecutor:
         clients: Sequence[CohortClient],
         trace: Optional[TraceRecorder] = None,
     ) -> None:
+        if state.faults is not None:
+            raise ValueError(
+                "CohortExecutor cannot run with fault injection enabled; "
+                "use client_executor='process' for faulty runs"
+            )
         self.sim = sim
         self.config = config
         self.layout = layout
@@ -316,6 +321,7 @@ class CohortExecutor:
                     now, first = issue, False
             else:
                 metrics.reads_rejected += 1
+                metrics.aborts_conflict += 1
                 assert cache is not None
                 cache.evict(outcome.obj)
                 for read_obj, _cycle in runtime.reads:
@@ -432,6 +438,7 @@ class CohortExecutor:
                         next_obj = runtime.objects[index]
                 else:
                     metrics.reads_rejected += 1
+                    metrics.aborts_conflict += 1
                     client.restarts += 1
                     runtime.restart()
                     issue = time + restart_delay
@@ -474,6 +481,7 @@ class CohortExecutor:
             else:
                 runtime.aborted = True
                 metrics.reads_rejected += 1
+                metrics.aborts_conflict += 1
                 if cache is not None:
                     cache.evict(obj)
                     for read_obj, _cycle in runtime.reads:
@@ -526,10 +534,18 @@ class CohortExecutor:
                     self.metrics,
                     client.rng,
                     client.cache,
+                    client_id=client.client_id,
                 )
                 if committed:
                     committed = yield from _submit_update(
-                        sim, config, runtime, write_objs, self.server, self.metrics
+                        sim,
+                        config,
+                        runtime,
+                        write_objs,
+                        self.server,
+                        self.metrics,
+                        state=self.state,
+                        rng=client.rng,
                     )
                 if committed:
                     break

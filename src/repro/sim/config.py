@@ -19,6 +19,7 @@ from ..broadcast.layout import FlatLayout, MultiDiskLayout
 from ..core.cycles import CycleArithmetic, ModuloCycles, UnboundedCycles
 from ..core.group_matrix import Partition, uniform_partition
 from ..core.validators import PROTOCOL_NAMES
+from .faults import FaultPlan
 
 __all__ = ["SimulationConfig", "KILOBYTE_BITS"]
 
@@ -93,6 +94,10 @@ class SimulationConfig:
     #: probability a client misses an awaited broadcast slot (radio loss);
     #: the read retries at the object's next appearance
     broadcast_loss_probability: float = 0.0
+    #: deterministic fault schedule: client doze intervals, uplink
+    #: submission loss, mid-run server crash + recovery (docs/FAULTS.md);
+    #: None (or a no-op plan) leaves the run bit-identical to fault-free
+    faults: Optional[FaultPlan] = None
 
     # -- client update transactions over the uplink (Sec. 3.2.1) -----------
     #: fraction of client transactions that also write (0 = paper's Sec. 4
@@ -146,6 +151,43 @@ class SimulationConfig:
             raise ValueError("hot_fraction must be in (0, 1]")
         if not 0.0 <= self.client_access_skew <= 1.0:
             raise ValueError("client_access_skew must be in [0, 1]")
+        if not 0.0 <= self.server_read_probability <= 1.0:
+            raise ValueError("server_read_probability must be in [0, 1]")
+        if self.server_txn_interval <= 0:
+            raise ValueError("server_txn_interval must be > 0")
+        if self.mean_inter_operation_delay <= 0:
+            raise ValueError("mean_inter_operation_delay must be > 0")
+        if self.mean_inter_transaction_delay <= 0:
+            raise ValueError("mean_inter_transaction_delay must be > 0")
+        if self.restart_delay < 0:
+            raise ValueError("restart_delay must be >= 0")
+        if self.object_size_bits < 1:
+            raise ValueError("object_size_bits must be >= 1")
+        if self.timestamp_bits < 1:
+            raise ValueError("timestamp_bits must be >= 1")
+        if self.num_groups < 1:
+            raise ValueError("num_groups must be >= 1")
+        if self.num_client_transactions < 0:
+            raise ValueError("num_client_transactions must be >= 0")
+        if self.cache_currency_bound is not None and self.cache_currency_bound < 0:
+            raise ValueError("cache_currency_bound must be >= 0")
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultPlan):
+                raise ValueError("faults must be a FaultPlan (or None)")
+            if self.faults.max_doze_client >= self.num_clients:
+                raise ValueError(
+                    f"doze interval names client "
+                    f"{self.faults.max_doze_client} but the run has only "
+                    f"{self.num_clients} client(s)"
+                )
+            if self.client_executor == "cohort" and not self.faults.is_noop:
+                raise ValueError(
+                    "the cohort executor does not support fault injection "
+                    "(doze/crash/uplink loss); use client_executor='process' "
+                    "or a no-op FaultPlan"
+                )
 
     # ----------------------------------------------------------------
     def replace(self, **changes: object) -> "SimulationConfig":

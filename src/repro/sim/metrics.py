@@ -144,6 +144,55 @@ class MetricsCollector:
         #: bit-time spent listening to the broadcast (tuning time) — the
         #: battery-relevant cost: each off-air read charges its slot
         self.listening_bits = 0.0
+        # -- fault attribution (see docs/FAULTS.md) --------------------
+        #: aborts by cause: the protocol's read/backward-validation
+        #: condition failed
+        self.aborts_conflict = 0
+        #: ... the client-side staleness guard fired (doze/wrap rejoin)
+        self.aborts_staleness = 0
+        #: ... an update gave up because the server was down at every try
+        self.aborts_crash = 0
+        #: ... an update exhausted its retries against uplink loss
+        self.aborts_uplink = 0
+        #: broadcast slots missed because the client's radio was dozing
+        self.doze_slots_missed = 0
+        #: broadcast slots that carried dead air during a server outage
+        self.crash_slot_stalls = 0
+        self.server_crashes = 0
+        #: cycle boundaries replayed quiescently by crash recovery
+        self.quiescent_replay_cycles = 0
+        #: server transaction completions that died with a down server
+        self.server_txns_lost = 0
+        #: uplink submissions lost in transit (loss-probability draws)
+        self.uplink_losses = 0
+        #: uplink submissions that reached a dead server
+        self.uplink_crash_losses = 0
+        #: resubmissions after a declared uplink loss
+        self.uplink_retries = 0
+
+    # ------------------------------------------------------------------
+    def record_abort(self, cause: str) -> None:
+        """Attribute one transaction-attempt abort to its cause."""
+        if cause == "conflict":
+            self.aborts_conflict += 1
+        elif cause == "staleness":
+            self.aborts_staleness += 1
+        elif cause == "crash":
+            self.aborts_crash += 1
+        elif cause == "uplink":
+            self.aborts_uplink += 1
+        else:
+            raise ValueError(f"unknown abort cause {cause!r}")
+
+    @property
+    def abort_causes(self) -> Dict[str, int]:
+        """Aborted attempts by cause (conflict, staleness, crash, uplink)."""
+        return {
+            "conflict": self.aborts_conflict,
+            "staleness": self.aborts_staleness,
+            "crash": self.aborts_crash,
+            "uplink": self.aborts_uplink,
+        }
 
     # ------------------------------------------------------------------
     def record_commit(

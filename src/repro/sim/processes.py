@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Sequence, Union
 
 from ..broadcast.layout import FlatLayout
 from ..broadcast.program import BroadcastCycle
@@ -39,6 +39,9 @@ from .config import SimulationConfig
 from .engine import Simulator, Timeout, WaitUntil
 from .metrics import MetricsCollector
 from .trace import TraceRecorder
+
+if TYPE_CHECKING:  # type-only: faults imports engine, never processes
+    from .faults import FaultRuntime
 
 __all__ = ["SharedState", "cycle_process", "server_process", "client_process"]
 
@@ -59,6 +62,10 @@ class SharedState:
     previous_broadcast: Optional[BroadcastCycle] = None
     clients_done: int = 0
     num_clients: int = 1
+    #: per-run fault state; None on zero-fault runs — every fault hook in
+    #: the processes below is guarded on it, so fault-free event sequences
+    #: are untouched
+    faults: Optional["FaultRuntime"] = None
 
     @property
     def all_clients_done(self) -> bool:
@@ -94,6 +101,15 @@ def cycle_process(
     cycle_tick = Timeout(layout.cycle_bits)
     while True:
         cycle += 1
+        faults = state.faults
+        if faults is not None and (
+            faults.server_down or server.current_cycle >= cycle
+        ):
+            # dead air: the server is down — or crash recovery already
+            # re-issued this cycle as a quiescent replay — so no fresh
+            # image goes out at this boundary
+            yield cycle_tick
+            continue
         broadcast = server.begin_cycle(cycle)
         state.advance(broadcast)
         if trace is not None and trace.record_cycles:
@@ -109,9 +125,11 @@ def server_process(
     layout: FlatLayout,
     rng: random.Random,
     metrics: MetricsCollector,
+    state: Optional[SharedState] = None,
 ) -> "SimEvents":
     """Complete server update transactions at the configured rate."""
     deterministic = config.server_interval_distribution == "deterministic"
+    faults = state.faults if state is not None else None
     while True:
         if deterministic:
             gap = config.server_txn_interval
@@ -119,6 +137,10 @@ def server_process(
             gap = rng.expovariate(1.0 / config.server_txn_interval)
         yield Timeout(gap)  # rep: allow-alloc — the gap varies per event
         spec = workload.next_transaction()
+        if faults is not None and faults.server_down:
+            # the completion evaporates with the crashed server
+            metrics.server_txns_lost += 1
+            continue
         if not spec.write_set:
             continue  # read-only at the server: nothing to install
         cycle = layout.cycle_of(sim.now)
@@ -150,6 +172,8 @@ def client_process(
     restarts the transaction just like a failed read.
     """
     restart_pause = Timeout(config.restart_delay) if config.restart_delay > 0 else None
+    faults = state.faults
+    staleness_window = faults.staleness_window if faults is not None else None
     for _txn_index in range(config.num_client_transactions):
         tid, objects = workload.next_transaction()
         tid = f"cl{client_id}.{tid}"
@@ -160,25 +184,42 @@ def client_process(
         )
         if is_update:
             runtime: ReadOnlyTransactionRuntime = ClientUpdateTransactionRuntime(
-                tid, objects, validator
+                tid, objects, validator, staleness_window=staleness_window
             )
             num_writes = max(
                 1, round(len(objects) * config.client_update_write_fraction)
             )
             write_objs = list(objects[:num_writes])
         else:
-            runtime = ReadOnlyTransactionRuntime(tid, objects, validator)
+            runtime = ReadOnlyTransactionRuntime(
+                tid, objects, validator, staleness_window=staleness_window
+            )
             write_objs = []
         submit_time = sim.now
         restarts = 0
 
         while True:  # attempts
             committed = yield from _attempt(
-                sim, config, runtime, layout, state, metrics, rng, cache
+                sim,
+                config,
+                runtime,
+                layout,
+                state,
+                metrics,
+                rng,
+                cache,
+                client_id=client_id,
             )
             if committed and is_update:
                 committed = yield from _submit_update(
-                    sim, config, runtime, write_objs, server, metrics
+                    sim,
+                    config,
+                    runtime,
+                    write_objs,
+                    server,
+                    metrics,
+                    state=state,
+                    rng=rng,
                 )
             if committed:
                 break
@@ -202,19 +243,60 @@ def _submit_update(
     write_objs: Sequence[int],
     server: "BroadcastServer",
     metrics: MetricsCollector,
+    state: Optional[SharedState] = None,
+    rng: Optional[random.Random] = None,
 ) -> "SimAttempt":
-    """Ship a finished update transaction up the uplink; True iff committed."""
+    """Ship a finished update transaction up the uplink; True iff committed.
+
+    With faults active a submission can be lost — in transit (the plan's
+    ``uplink_loss_probability``) or because the server is down when it
+    arrives.  Either way no verdict comes back: the client waits out the
+    plan's verdict timeout, backs off multiplicatively, and resubmits, up
+    to ``uplink_max_retries`` times before the attempt aborts with a
+    cause-attributed metric.
+    """
     assert isinstance(runtime, ClientUpdateTransactionRuntime)
     for obj in write_objs:
         runtime.write(obj, f"{runtime.tid}#{runtime.attempt}")
-    yield Timeout(config.uplink_round_trip / 2)
-    outcome = server.submit_client_update(runtime.submission())
-    yield Timeout(config.uplink_round_trip / 2)
-    if outcome.committed:
-        metrics.client_updates_committed += 1
-        return True
-    metrics.client_updates_rejected += 1
-    return False
+    faults = state.faults if state is not None else None
+    plan = faults.plan if faults is not None else None
+    half_rtt = Timeout(config.uplink_round_trip / 2)
+    retries = 0
+    while True:
+        yield half_rtt
+        if plan is not None and faults is not None:
+            if faults.server_down:
+                # the submission reaches a dead uplink: no verdict ever
+                metrics.uplink_crash_losses += 1
+                cause = "crash"
+            elif (
+                plan.uplink_loss_probability > 0.0
+                and rng is not None
+                and rng.random() < plan.uplink_loss_probability
+            ):
+                metrics.uplink_losses += 1
+                cause = "uplink"
+            else:
+                cause = None
+            if cause is not None:
+                if retries >= plan.uplink_max_retries:
+                    metrics.record_abort(cause)
+                    return False
+                # wait out the verdict timeout, back off, resubmit
+                yield Timeout(  # rep: allow-alloc — backoff grows per retry
+                    plan.uplink_timeout * plan.uplink_backoff**retries
+                )
+                retries += 1
+                metrics.uplink_retries += 1
+                continue
+        outcome = server.submit_client_update(runtime.submission())
+        yield half_rtt
+        if outcome.committed:
+            metrics.client_updates_committed += 1
+            return True
+        metrics.client_updates_rejected += 1
+        metrics.record_abort("conflict")
+        return False
 
 
 def _attempt(
@@ -226,8 +308,10 @@ def _attempt(
     metrics: MetricsCollector,
     rng: random.Random,
     cache: Optional[QuasiCache],
+    client_id: int = 0,
 ) -> "SimAttempt":
     """One attempt of a client transaction; True iff it commits."""
+    faults = state.faults
     first = True
     while not runtime.is_done:
         if not first or config.delay_before_first_operation:
@@ -244,8 +328,20 @@ def _attempt(
                 metrics.cache_hits += 1
         if broadcast is None:
             while True:
+                if faults is not None:
+                    wake = faults.doze_wake(client_id, sim.now)
+                    if wake is not None:
+                        # the radio is off: fast-forward to the rejoin
+                        yield WaitUntil(wake)  # rep: allow-alloc — doze rejoin
                 hit = layout.next_read(obj, sim.now)
                 yield WaitUntil(hit.time)  # rep: allow-alloc — a new slot per retry
+                if faults is not None and not faults.slot_heard(
+                    client_id, hit.time - layout.slot_bits, hit.time
+                ):
+                    # dozed or dead air through (part of) the slot: same
+                    # re-tune as a radio loss, but charged to its cause
+                    yield _LOSS_RETUNE
+                    continue
                 if (
                     config.broadcast_loss_probability > 0.0
                     and rng.random() < config.broadcast_loss_probability
@@ -269,6 +365,7 @@ def _attempt(
             metrics.reads_delivered += 1
         else:
             metrics.reads_rejected += 1
+            metrics.record_abort("staleness" if outcome.stale else "conflict")
             if cache is not None:
                 # every read of this attempt is a staleness suspect —
                 # evict them so the retry re-fetches off the air instead

@@ -31,6 +31,7 @@ from ..server.workload import ClientWorkload, ServerWorkload
 from .cohort import CohortClient, CohortExecutor
 from .config import SimulationConfig
 from .engine import Simulator
+from .faults import FaultRuntime, crash_process
 from .metrics import MetricsCollector, SummaryStat
 from .processes import SharedState, client_process, cycle_process, server_process
 from .trace import TraceRecorder
@@ -85,6 +86,12 @@ class BroadcastSimulation:
         if self.trace is not None and config.audit:
             self.trace.record_cycles = True
         self.state = SharedState(num_clients=config.num_clients)
+        # a no-op plan is indistinguishable from no plan: no runtime, no
+        # crash process, bit-identical event sequences
+        if config.faults is not None and not config.faults.is_noop:
+            self.state.faults = FaultRuntime(
+                config.faults, config.arithmetic(), self.metrics
+            )
         self.sim = Simulator()
 
         base_seed = config.seed
@@ -135,6 +142,7 @@ class BroadcastSimulation:
                 self.layout,
                 self._server_rng,
                 self.metrics,
+                state=self.state,
             ),
             name="server",
         )
@@ -177,6 +185,21 @@ class BroadcastSimulation:
                     cache=cache,
                 ),
                 name=f"client-{k}",
+            )
+        if self.state.faults is not None and self.state.faults.plan.crashes:
+            # spawned after the clients so fault-free spawn order (hence
+            # same-instant tie-breaking) is untouched on zero-crash plans
+            sim.spawn(
+                crash_process(
+                    sim,
+                    config,
+                    self.server,
+                    self.layout,
+                    self.state,
+                    self.metrics,
+                    trace=self.trace,
+                ),
+                name="fault-crash",
             )
         if cohort_clients:
             CohortExecutor(

@@ -34,6 +34,7 @@ def test_every_protocol_audits_clean(protocol):
     assert set(report.checked) == {
         "control-monotonicity",
         "control-agreement",
+        "wrap-gap-safety",
         "validation-soundness",
         "read-coherence",
         "delta-coherence",

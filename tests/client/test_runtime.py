@@ -124,3 +124,65 @@ class TestClientUpdateRuntime:
         txn.write(0, "local")
         txn.restart()
         assert txn.writes == {}
+
+
+class TestStalenessGuard:
+    def _runtime(self, window=4):
+        return ReadOnlyTransactionRuntime(
+            "t", [0, 1], make_validator("f-matrix"), staleness_window=window
+        )
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            self._runtime(window=0)
+
+    def test_gap_within_window_commits(self, server):
+        txn = self._runtime(window=4)
+        txn.deliver(server.begin_cycle(1))
+        txn.deliver(server.begin_cycle(4))  # heard-gap 3 < window
+        assert txn.is_done and not txn.aborted
+
+    def test_rejoin_after_long_doze_aborts_stale(self, server):
+        txn = self._runtime(window=4)
+        outcome = txn.deliver(server.begin_cycle(1))
+        assert outcome.ok and not outcome.stale
+        # the radio was off for >= window cycles: the re-anchored control
+        # entries are ambiguous relative to the in-flight first read
+        stale = txn.deliver(server.begin_cycle(6))
+        assert not stale.ok and stale.stale and txn.aborted
+
+    def test_span_beyond_window_aborts_even_if_heard(self, server):
+        txn = self._runtime(window=4)
+        txn.deliver(server.begin_cycle(1))
+        for cycle in range(2, 6):
+            server.begin_cycle(cycle)
+        # the client heard every cycle (no doze gap), so only the
+        # transaction's total span trips the guard
+        txn.last_heard_cycle = 5
+        out = txn.deliver(server.begin_cycle(6))
+        assert not out.ok and out.stale
+
+    def test_no_in_flight_reads_never_stale(self, server):
+        txn = self._runtime(window=4)
+        # first delivery after a long silence: nothing validated yet, so
+        # nothing can be stale — the read proceeds
+        server.begin_cycle(1)
+        out = txn.deliver(server.begin_cycle(9))
+        assert out.ok and not out.stale
+
+    def test_last_heard_survives_restart(self, server):
+        txn = self._runtime(window=4)
+        txn.deliver(server.begin_cycle(1))
+        stale = txn.deliver(server.begin_cycle(6))
+        assert stale.stale
+        txn.restart()
+        assert txn.last_heard_cycle == 6
+        # the restarted attempt reads fresh state and commits
+        out = txn.deliver(server.begin_cycle(7))
+        assert out.ok
+
+    def test_disabled_by_default(self, server):
+        txn = ReadOnlyTransactionRuntime("t", [0, 1], make_validator("f-matrix"))
+        txn.deliver(server.begin_cycle(1))
+        out = txn.deliver(server.begin_cycle(500))
+        assert out.ok and not out.stale

@@ -62,3 +62,77 @@ class TestModulo:
         # residue 3 mod 16 -> candidates 3, 19(>18) -> 3... most recent <= 18
         assert arith._anchor(3, 18) == 3
         assert arith._anchor(2, 18) == 18
+
+
+class TestLessEncodedAbsolute:
+    """Wire entry vs. an absolute cycle the client holds.
+
+    The hypothesis oracle: throughout the paper's legal regime — the
+    control entry committed within one window of the reference cycle —
+    the modulo comparison must agree exactly with unbounded arithmetic
+    on the underlying absolute cycles, including at the doze boundary.
+    """
+
+    def test_unbounded_is_plain_comparison(self):
+        arith = UnboundedCycles()
+        assert arith.less_encoded_absolute(3, 7, reference=100)
+        assert not arith.less_encoded_absolute(7, 3, reference=100)
+
+    def test_exhaustive_small_window(self):
+        arith = ModuloCycles(3)  # window 8
+        for reference in range(8, 40):
+            for entry in range(reference - 7, reference + 1):
+                for cycle in range(0, reference + 9):
+                    assert arith.less_encoded_absolute(
+                        arith.encode(entry), cycle, reference=reference
+                    ) == (entry < cycle), (entry, cycle, reference)
+
+    def test_wrap_gap_entry_stays_conservative(self):
+        # an entry exactly one window old must not alias forward: the
+        # old re-anchoring of *both* operands accepted reads here
+        arith = ModuloCycles(3)  # window 8
+        reference = 100
+        entry = reference - 8  # outside the legal regime by one cycle
+        # anchored to `reference` the residue looks like cycle 100, so
+        # the comparison is conservative (False), never a false accept
+        assert not arith.less_encoded_absolute(
+            arith.encode(entry), entry + 1, reference=reference
+        )
+
+    def test_doze_boundary_still_sound(self):
+        # a client that dozed window-1 cycles: its first read's cycle is
+        # the oldest absolute it compares; entries within the window
+        # still order correctly against it
+        arith = ModuloCycles(4)  # window 16
+        reference = 200
+        first_read = reference - 15
+        for entry in range(reference - 15, reference + 1):
+            assert arith.less_encoded_absolute(
+                arith.encode(entry), first_read, reference=reference
+            ) == (entry < first_read)
+
+
+class TestModuloOracleProperty:
+    def test_matches_unbounded_across_legal_regime(self):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=300, deadline=None)
+        @given(st.data())
+        def run(data):
+            bits = data.draw(st.integers(1, 10))
+            arith = ModuloCycles(bits)
+            plain = UnboundedCycles(bits)
+            window = arith.window
+            reference = data.draw(st.integers(0, 4 * window + 100))
+            # the legal regime: entries commit within one window of the
+            # snapshot that carries them
+            entry = reference - data.draw(st.integers(0, min(window - 1, reference)))
+            cycle = data.draw(st.integers(0, reference + window))
+            assert arith.less_encoded_absolute(
+                arith.encode(entry), cycle, reference=reference
+            ) == plain.less_encoded_absolute(entry, cycle, reference=reference)
+            assert plain.less_encoded_absolute(
+                entry, cycle, reference=reference
+            ) == (entry < cycle)
+
+        run()

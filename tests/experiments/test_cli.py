@@ -39,3 +39,28 @@ class TestMain:
         csv_file = tmp_path / "fig4b.csv"
         assert csv_file.exists()
         assert "fig4b,f-matrix" in csv_file.read_text()
+
+
+class TestFaults:
+    def test_parser_accepts_faults(self):
+        args = build_parser().parse_args(["faults", "--output", "x.json"])
+        assert args.experiment == "faults"
+        assert str(args.output) == "x.json"
+
+    def test_faults_report_runs_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "faults.json"
+        code = main(
+            ["faults", "--transactions", "4", "--seed", "3",
+             "--output", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "f-matrix" in out and "audit" in out
+        summaries = json.loads(out_path.read_text())
+        assert [s["protocol"] for s in summaries] == [
+            "f-matrix", "r-matrix", "datacycle"
+        ]
+        assert all(s["audit_ok"] for s in summaries)
+        assert all(s["commits"] == 12 for s in summaries)  # 3 clients x 4

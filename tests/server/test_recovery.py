@@ -1,0 +1,98 @@
+"""Recovery regressions (repro.server.recovery, BroadcastServer.restore_from).
+
+The core OCC-replay equivalence lives in tests/server/test_occ.py; this
+file pins the crash-recovery behaviours the fault injection relies on:
+quiescent cycles surviving recovery, the durable cycle mark, and
+swapping a revived server's state into the live object.
+"""
+
+import numpy as np
+import pytest
+
+from repro.server.database import Database
+from repro.server.recovery import recover_server
+from repro.server.server import BroadcastServer
+
+
+def _crashed_server(protocol="f-matrix"):
+    server = BroadcastServer(5, protocol)
+    server.begin_cycle(1)
+    server.commit_update("s1", [0], {1: "a", 2: "b"})
+    server.begin_cycle(2)
+    server.commit_update("s2", [1], {0: "c"})
+    # cycles 3-5 are quiescent: broadcast happened, nothing committed
+    for cycle in (3, 4, 5):
+        server.begin_cycle(cycle)
+    return server
+
+
+class TestQuiescentCycleRecovery:
+    def test_database_source_restores_quiescent_cycles(self):
+        crashed = _crashed_server()
+        revived = recover_server(crashed.database, 5, "f-matrix")
+        # the regression: defaulting to the last *commit* cycle (2) would
+        # make the revived server re-issue cycles 3-5
+        assert revived.current_cycle == 5
+        with pytest.raises(ValueError):
+            revived.begin_cycle(5)
+        revived.begin_cycle(6)
+
+    def test_bare_log_falls_back_to_last_commit_cycle(self):
+        crashed = _crashed_server()
+        revived = recover_server(crashed.database.commit_log, 5)
+        assert revived.current_cycle == 2  # documented lossy fallback
+
+    def test_explicit_cycle_wins_over_database_mark(self):
+        crashed = _crashed_server()
+        revived = recover_server(crashed.database, 5, current_cycle=9)
+        assert revived.current_cycle == 9
+
+    def test_recovered_database_carries_the_cycle_mark(self):
+        crashed = _crashed_server()
+        revived = recover_server(crashed.database, 5, "f-matrix")
+        assert revived.database.last_broadcast_cycle == 5
+        # a second crash+recovery of the revived server loses nothing
+        again = recover_server(revived.database, 5, "f-matrix")
+        assert again.current_cycle == 5
+
+
+class TestBroadcastCycleMark:
+    def test_begin_cycle_records_the_mark(self):
+        server = BroadcastServer(3, "r-matrix")
+        assert server.database.last_broadcast_cycle == 0
+        server.begin_cycle(1)
+        server.begin_cycle(2)
+        assert server.database.last_broadcast_cycle == 2
+
+    def test_mark_may_not_regress(self):
+        database = Database(3)
+        database.record_broadcast_cycle(4)
+        database.record_broadcast_cycle(4)  # idempotent re-record is fine
+        with pytest.raises(ValueError):
+            database.record_broadcast_cycle(3)
+
+
+class TestRestoreFrom:
+    def test_adopts_revived_state_in_place(self):
+        crashed = _crashed_server()
+        revived = recover_server(crashed.database, 5, "f-matrix")
+        live = BroadcastServer(5, "f-matrix")  # stands in for the dead one
+        live.restore_from(revived)
+        assert live.current_cycle == 5
+        assert np.array_equal(live.matrix.array, crashed.matrix.array)
+        b1 = crashed.begin_cycle(6)
+        b2 = live.begin_cycle(6)
+        assert np.array_equal(b1.snapshot.matrix, b2.snapshot.matrix)
+        assert b1.versions == b2.versions
+
+    def test_protocol_mismatch_rejected(self):
+        live = BroadcastServer(5, "f-matrix")
+        other = BroadcastServer(5, "r-matrix")
+        with pytest.raises(ValueError, match="cannot restore"):
+            live.restore_from(other)
+
+    def test_size_mismatch_rejected(self):
+        live = BroadcastServer(5, "f-matrix")
+        other = BroadcastServer(6, "f-matrix")
+        with pytest.raises(ValueError, match="objects"):
+            live.restore_from(other)

@@ -61,6 +61,27 @@ class TestValidation:
         cfg2 = cfg.replace(num_objects=100, server_txn_length=8)
         assert cfg2.num_objects == 100 and cfg.num_objects == 300
 
+    @pytest.mark.parametrize(
+        "field,bad",
+        [
+            ("server_read_probability", -0.1),
+            ("server_read_probability", 1.1),
+            ("server_txn_interval", 0.0),
+            ("mean_inter_operation_delay", 0.0),
+            ("mean_inter_transaction_delay", -1.0),
+            ("restart_delay", -1.0),
+            ("object_size_bits", 0),
+            ("timestamp_bits", 0),
+            ("num_groups", 0),
+            ("num_client_transactions", -1),
+            ("cache_currency_bound", -1.0),
+            ("cache_capacity", 0),
+        ],
+    )
+    def test_range_checked_fields(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            SimulationConfig(**{field: bad})
+
 
 class TestDerived:
     def test_arithmetic_selection(self):
