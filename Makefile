@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint typecheck audit bench-smoke faults-smoke
+.PHONY: check test lint typecheck audit bench-smoke faults-smoke consistency-smoke
 
 check: test lint typecheck
 
@@ -38,8 +38,30 @@ bench-smoke:
 
 # fault-injection resilience report (docs/FAULTS.md): doze through a
 # full wrap window, crash the server mid-run, drop uplink submissions —
-# then audit every protocol invariant over the recorded trace.  Exits
-# non-zero on any audit violation.
+# then audit every protocol invariant AND certify the recorded history
+# update-consistent.  Exits non-zero on any audit or consistency
+# violation.
 faults-smoke:
 	$(PYTHON) -m repro.experiments.cli faults --transactions 40 \
 		--seed 42 --output faults-smoke.json
+
+# consistency smoke (docs/ANALYSIS.md "Consistency levels"): the
+# small-scope model checker exhaustively sweeps the smallest scope for
+# every protocol, then one seeded simulation per protocol is certified —
+# all six levels for datacycle (globally serializable), the paper's
+# update-consistency guarantee for all three.  Exits non-zero on any
+# uncertified run; JSON artifacts land in consistency-smoke-*.json.
+consistency-smoke:
+	$(PYTHON) -m repro.analysis.consistency.explore --scope smallest \
+		--output consistency-smoke-explore.json
+	$(PYTHON) -c "from repro.experiments.cli import audit_main; import sys; \
+		sys.exit(audit_main(['--protocol', 'datacycle', '--transactions', '40', \
+		'--objects', '20', '--consistency', 'all', '--consistency', 'update']))"
+	$(PYTHON) -c "from repro.experiments.cli import audit_main; import sys; \
+		sys.exit(audit_main(['--protocol', 'f-matrix', '--transactions', '40', \
+		'--objects', '20', '--consistency', 'update', '--format', 'json']))" \
+		> consistency-smoke-fmatrix.json
+	$(PYTHON) -c "from repro.experiments.cli import audit_main; import sys; \
+		sys.exit(audit_main(['--protocol', 'r-matrix', '--transactions', '40', \
+		'--objects', '20', '--consistency', 'update', '--format', 'json']))" \
+		> consistency-smoke-rmatrix.json

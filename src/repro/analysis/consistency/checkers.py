@@ -1,0 +1,628 @@
+"""Isolation-level checkers over ``⟨T, so, wr⟩`` histories.
+
+Biswas & Enea characterise each level by a single axiom scheme: a history
+satisfies the level iff there is a strict total *commit order* ``co``
+containing ``so ∪ wr`` such that
+
+    for every ``wr_x(t1, t2)`` and every ``t3 ≠ t1`` writing ``x``:
+        ``t3 R t2   ⟹   t3 →co t1``
+
+where the relation ``R`` depends on the level:
+
+========================  =====================================  ==========
+level                     ``R``                                  complexity
+========================  =====================================  ==========
+read committed            "a po-earlier read of ``t2`` saw       polynomial
+                          ``t3``" (event level)
+read atomic               ``so ∪ wr`` (one step)                 polynomial
+causal                    ``(so ∪ wr)+``                         polynomial
+prefix                    ``co ∘ (so ∪ wr)*``                    NP-complete
+snapshot isolation        ``co ∘ (so ∪ wr)*`` + write-conflict   NP-complete
+                          ordering
+serializability           ``co``                                 NP-complete
+========================  =====================================  ==========
+
+For the polynomial levels ``R`` does not mention ``co``, so the forced
+``t3 → t1`` edges are fixed and the level holds iff ``so ∪ wr ∪ forced``
+is acyclic.  Serializability is exactly polygraph acyclicity
+(:mod:`repro.core.polygraph`); prefix consistency and snapshot isolation
+reduce to polygraph acyclicity over *split* transactions — each ``t``
+becomes ``t[r]`` (its reads) and ``t[w]`` (its writes) with ``t[r]``
+before ``t[w]``, and SI additionally keeps conflicting writers from
+overlapping.  Every FAIL verdict carries an :class:`AnomalyWitness` naming
+the offending transactions, the edges, and the cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...core.model import T0
+from ...core.polygraph import Bipath, Polygraph, PolygraphRefutation
+from ...core.serialgraph import Digraph
+from .histories import TransactionalHistory
+
+__all__ = [
+    "LEVELS",
+    "AnomalyWitness",
+    "Verdict",
+    "WitnessEdge",
+    "check_level",
+    "check_read_committed",
+    "check_read_atomic",
+    "check_causal",
+    "check_prefix",
+    "check_snapshot_isolation",
+    "check_serializability",
+]
+
+#: Supported levels, weakest to strongest.
+LEVELS: Tuple[str, ...] = (
+    "read-committed",
+    "read-atomic",
+    "causal",
+    "prefix",
+    "snapshot-isolation",
+    "serializability",
+)
+
+_READ_PART = "[r]"
+_WRITE_PART = "[w]"
+
+
+@dataclass(frozen=True)
+class WitnessEdge:
+    """One ordering fact in a witness: ``src`` must precede ``dst``.
+
+    ``kind`` names the origin: ``so`` (session order), ``wr`` (reads-from),
+    ``rw`` (anti-dependency: reader before overwriter), ``ww`` (forced
+    writer ordering), ``init`` (``t0`` precedes everything), ``split``
+    (a transaction's reads precede its own writes).
+    """
+
+    src: str
+    dst: str
+    kind: str
+    obj: Optional[str] = None
+
+    def format(self) -> str:
+        label = self.kind if self.obj is None else f"{self.kind}[{self.obj}]"
+        return f"{self.src} --{label}--> {self.dst}"
+
+
+@dataclass(frozen=True)
+class AnomalyWitness:
+    """A minimal explanation of why a level does not hold."""
+
+    level: str
+    description: str
+    cycle: Tuple[str, ...] = ()
+    edges: Tuple[WitnessEdge, ...] = ()
+    transactions: Tuple[str, ...] = ()
+
+    def format(self) -> str:
+        lines = [self.description]
+        if self.cycle:
+            lines.append("cycle: " + " -> ".join(self.cycle))
+        for edge in self.edges:
+            lines.append("  " + edge.format())
+        if self.transactions:
+            lines.append("transactions: " + ", ".join(self.transactions))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "level": self.level,
+            "description": self.description,
+            "cycle": list(self.cycle),
+            "edges": [
+                {"src": e.src, "dst": e.dst, "kind": e.kind, "obj": e.obj}
+                for e in self.edges
+            ],
+            "transactions": list(self.transactions),
+        }
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """PASS/FAIL for one level, with a witness on FAIL.
+
+    On PASS for the search-based levels, ``order`` carries a certifying
+    commit order (a topological order of an acyclic compatible digraph).
+    """
+
+    level: str
+    ok: bool
+    witness: Optional[AnomalyWitness] = None
+    order: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"level": self.level, "ok": self.ok}
+        if self.witness is not None:
+            payload["witness"] = self.witness.to_dict()
+        if self.order:
+            payload["order"] = list(self.order)
+        return payload
+
+
+# ----------------------------------------------------------------------
+# shared scaffolding
+# ----------------------------------------------------------------------
+class _LabeledGraph:
+    """A digraph whose edges remember the witness fact that created them."""
+
+    def __init__(self, nodes: Sequence[str]):
+        self.graph = Digraph(nodes)
+        self.labels: Dict[Tuple[str, str], WitnessEdge] = {}
+
+    def add(self, src: str, dst: str, kind: str, obj: Optional[str] = None) -> None:
+        if src == dst:
+            return
+        self.graph.add_edge(src, dst)
+        self.labels.setdefault((src, dst), WitnessEdge(src, dst, kind, obj))
+
+    def cycle_witness(self, level: str, description: str) -> Optional[AnomalyWitness]:
+        if self.graph.is_acyclic():
+            return None
+        cycle = tuple(self.graph.find_cycle() or ())
+        edges = tuple(
+            self.labels[(a, b)]
+            for a, b in zip(cycle, cycle[1:])
+            if (a, b) in self.labels
+        )
+        return AnomalyWitness(
+            level,
+            description,
+            cycle=cycle,
+            edges=edges,
+            transactions=_distinct_txns(cycle),
+        )
+
+
+def _distinct_txns(nodes: Sequence[str]) -> Tuple[str, ...]:
+    seen: Dict[str, None] = {}
+    for node in nodes:
+        seen.setdefault(_base_tid(node), None)
+    return tuple(seen)
+
+
+def _base_tid(node: str) -> str:
+    """Collapse a split-transaction part back to its transaction id."""
+    if node.endswith(_READ_PART) or node.endswith(_WRITE_PART):
+        return node[: -len(_READ_PART)]
+    return node
+
+
+def _polynomial_graph(th: TransactionalHistory) -> _LabeledGraph:
+    """Base graph for the polynomial levels: ``t0``-init ∪ so ∪ wr."""
+    graph = _LabeledGraph([T0] + list(th.tids))
+    for tid in th.tids:
+        graph.add(T0, tid, "init")
+    for earlier, later in th.so_edges():
+        graph.add(earlier, later, "so")
+    for writer, reader, obj in th.wr_pairs():
+        if writer != T0:
+            graph.add(writer, reader, "wr", obj)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# polynomial levels: read committed, read atomic, causal
+# ----------------------------------------------------------------------
+def check_read_committed(th: TransactionalHistory) -> Verdict:
+    """Event-level RC: reads observe committed values, monotonically.
+
+    The forced edge ``t3 → t1`` fires when some *program-order earlier*
+    read of the same transaction observed ``t3``.
+    """
+    graph = _polynomial_graph(th)
+    for reader in th.tids:
+        prior: List[str] = []
+        for obj, writer in th.read_events(reader):
+            for t3 in prior:
+                if t3 != writer and obj in th.transaction(t3).write_set:
+                    graph.add(t3, writer, "ww", obj)
+            if writer != T0 and writer not in prior:
+                prior.append(writer)
+    return _poly_verdict(
+        "read-committed",
+        graph,
+        "read-committed violated: a transaction's reads cannot be "
+        "explained by any single commit order",
+    )
+
+
+def check_read_atomic(th: TransactionalHistory) -> Verdict:
+    """RA: the forced edge fires when ``t3 (so ∪ wr) t2``."""
+    predecessors = _one_step_predecessors(th)
+    graph = _polynomial_graph(th)
+    _add_forced_edges(th, graph, predecessors)
+    return _poly_verdict(
+        "read-atomic",
+        graph,
+        "read-atomic violated: a transaction observes a fractured or "
+        "stale set of writes",
+    )
+
+
+def check_causal(th: TransactionalHistory) -> Verdict:
+    """CC: the forced edge fires when ``t3 (so ∪ wr)+ t2``."""
+    predecessors = _transitive_predecessors(th)
+    graph = _polynomial_graph(th)
+    _add_forced_edges(th, graph, predecessors)
+    return _poly_verdict(
+        "causal",
+        graph,
+        "causal consistency violated: a read contradicts a causally "
+        "earlier write",
+    )
+
+
+def _one_step_predecessors(th: TransactionalHistory) -> Dict[str, Set[str]]:
+    preds: Dict[str, Set[str]] = {tid: set() for tid in th.tids}
+    for earlier, later in th.so_pairs():
+        preds[later].add(earlier)
+    for writer, reader, _obj in th.wr_pairs():
+        if writer != T0:
+            preds[reader].add(writer)
+    return preds
+
+
+def _transitive_predecessors(th: TransactionalHistory) -> Dict[str, Set[str]]:
+    one_step = _one_step_predecessors(th)
+    graph = Digraph(th.tids)
+    for tid, preds in one_step.items():
+        for pred in preds:
+            graph.add_edge(pred, tid)
+    order = graph.topological_order()
+    if order is None:
+        # so ∪ wr itself is cyclic: the base-graph acyclicity check fails
+        # regardless of forced edges, so one-step predecessors suffice.
+        return one_step
+    closed: Dict[str, Set[str]] = {}
+    for tid in order:
+        result = set(one_step.get(tid, ()))
+        for pred in one_step.get(tid, ()):
+            result |= closed.get(pred, set())
+        closed[tid] = result
+    return closed
+
+def _add_forced_edges(
+    th: TransactionalHistory,
+    graph: _LabeledGraph,
+    predecessors: Dict[str, Set[str]],
+) -> None:
+    writers = th.writers_of()
+    for writer, reader, obj in th.wr_pairs():
+        for t3 in writers.get(obj, ()):
+            if t3 in (writer, reader):
+                continue
+            if t3 in predecessors[reader]:
+                graph.add(t3, writer, "ww", obj)
+
+
+def _poly_verdict(level: str, graph: _LabeledGraph, description: str) -> Verdict:
+    witness = graph.cycle_witness(level, description)
+    if witness is None:
+        order = graph.graph.topological_order() or []
+        return Verdict(level, True, order=tuple(t for t in order if t != T0))
+    return Verdict(level, False, witness=witness)
+
+
+# ----------------------------------------------------------------------
+# search levels: serializability, prefix, snapshot isolation
+# ----------------------------------------------------------------------
+def _candidate_orders(th: TransactionalHistory) -> List[Tuple[str, ...]]:
+    """Likely serialization witnesses, checked in linear time before search.
+
+    Two guesses cover the histories this repository actually certifies:
+
+    1. plain history-appearance order — exact for serial update
+       sub-histories (the server's commit log *is* a serialization);
+    2. appearance order of the writing transactions with each read-only
+       transaction inserted at its snapshot point — the slot where every
+       one of its reads observes the then-latest version.  Session order
+       only raises a reader's slot floor, matching the monotone snapshots
+       a broadcast client actually sees.
+
+    Candidates are guesses, not answers: :meth:`Polygraph.satisfied_by`
+    verifies them against every arc and bipath, and the checkers fall back
+    to the exhaustive search when both fail.
+    """
+    tids = list(th.tids)
+    candidates: List[Tuple[str, ...]] = [tuple(tids)]
+
+    updates = [t for t in tids if th.transaction(t).write_set]
+    readers = [t for t in tids if not th.transaction(t).write_set]
+    if not readers or not updates:
+        return candidates
+    pos = {tid: i for i, tid in enumerate(updates)}
+    writers = th.writers_of()
+    so_preds: Dict[str, List[str]] = {}
+    for earlier, later in th.so_edges():
+        so_preds.setdefault(later, []).append(earlier)
+
+    # Process readers in session order (appearance order breaks ties):
+    # a reader's slot floor depends on its so-predecessors' slots, so
+    # those must be assigned first.
+    appearance = {tid: i for i, tid in enumerate(tids)}
+    session_key: Dict[str, Tuple[int, int]] = {}
+    for s_idx, session in enumerate(th.sessions):
+        for m_idx, member in enumerate(session):
+            session_key.setdefault(member, (s_idx, m_idx))
+    fallback = (len(th.sessions), 0)
+    readers = sorted(
+        readers, key=lambda t: session_key.get(t, fallback) + (appearance[t],)
+    )
+
+    count = len(updates)
+    slots: Dict[str, int] = {}
+    for reader in readers:
+        lo, hi = 0, count
+        for obj, writer in th.read_events(reader):
+            obj_writers = [t for t in writers.get(obj, ()) if t in pos]
+            if writer == T0:
+                if obj_writers:
+                    hi = min(hi, pos[obj_writers[0]])
+                continue
+            if writer not in pos:
+                return candidates
+            lo = max(lo, pos[writer] + 1)
+            later_writes = [pos[t] for t in obj_writers if pos[t] > pos[writer]]
+            if later_writes:
+                hi = min(hi, min(later_writes))
+        for pred in so_preds.get(reader, ()):
+            if pred in pos:
+                lo = max(lo, pos[pred] + 1)
+            elif pred in slots:
+                lo = max(lo, slots[pred])
+        if lo > hi:
+            return candidates  # no consistent snapshot point: let search decide
+        slots[reader] = lo
+
+    by_slot: Dict[int, List[str]] = {}
+    for reader in readers:  # session order keeps same-slot so intact
+        by_slot.setdefault(slots[reader], []).append(reader)
+    merged: List[str] = []
+    for i in range(count + 1):
+        merged.extend(by_slot.get(i, ()))
+        if i < count:
+            merged.append(updates[i])
+    candidates.append(tuple(merged))
+    return candidates
+
+
+def _split_nodes(order: Sequence[str]) -> Tuple[str, ...]:
+    expanded: List[str] = []
+    for tid in order:
+        expanded.append(tid + _READ_PART)
+        expanded.append(tid + _WRITE_PART)
+    return tuple(expanded)
+
+
+def check_serializability(th: TransactionalHistory) -> Verdict:
+    """SER: polygraph acyclicity over whole transactions."""
+    poly = Polygraph(th.tids)
+    labels: Dict[Tuple[str, str], WitnessEdge] = {}
+
+    def arc(src: str, dst: str, kind: str, obj: Optional[str] = None) -> None:
+        if src != dst:
+            poly.add_arc(src, dst)
+            labels.setdefault((src, dst), WitnessEdge(src, dst, kind, obj))
+
+    for earlier, later in th.so_edges():
+        arc(earlier, later, "so")
+    writers = th.writers_of()
+    for writer, reader, obj in th.wr_pairs():
+        if writer == T0:
+            for t3 in writers.get(obj, ()):
+                if t3 != reader:
+                    arc(reader, t3, "rw", obj)
+            continue
+        arc(writer, reader, "wr", obj)
+        for t3 in writers.get(obj, ()):
+            if t3 in (writer, reader):
+                continue
+            poly.add_bipath(Bipath((t3, writer), (reader, t3)))
+            labels.setdefault((t3, writer), WitnessEdge(t3, writer, "ww", obj))
+            labels.setdefault((reader, t3), WitnessEdge(reader, t3, "rw", obj))
+    return _search_verdict(
+        "serializability",
+        poly,
+        labels,
+        split=False,
+        candidates=_candidate_orders(th),
+    )
+
+
+def check_prefix(th: TransactionalHistory) -> Verdict:
+    """PC: split-transaction polygraph, no write-conflict bipaths."""
+    poly, labels = _split_polygraph(th, conflict_bipaths=False)
+    return _search_verdict(
+        "prefix", poly, labels, split=True, candidates=_candidate_orders(th)
+    )
+
+
+def check_snapshot_isolation(th: TransactionalHistory) -> Verdict:
+    """SI: split-transaction polygraph plus write-conflict bipaths."""
+    poly, labels = _split_polygraph(th, conflict_bipaths=True)
+    return _search_verdict(
+        "snapshot-isolation",
+        poly,
+        labels,
+        split=True,
+        candidates=_candidate_orders(th),
+    )
+
+
+def _split_polygraph(
+    th: TransactionalHistory, *, conflict_bipaths: bool
+) -> Tuple[Polygraph, Dict[Tuple[str, str], WitnessEdge]]:
+    """Biswas–Enea split-transaction reduction for PC and SI.
+
+    Each transaction ``t`` becomes ``t[r]`` (the snapshot point where its
+    reads take effect) and ``t[w]`` (its commit point).  so/wr edges run
+    write-part → read-part, so a chain through split nodes alternates
+    "commits before snapshot of".  SI adds, per pair of transactions
+    writing a common object, a bipath forcing one to commit before the
+    other takes its snapshot — conflicting writers must not overlap.
+    """
+    nodes: List[str] = []
+    for tid in th.tids:
+        nodes.append(tid + _READ_PART)
+        nodes.append(tid + _WRITE_PART)
+    poly = Polygraph(nodes)
+    labels: Dict[Tuple[str, str], WitnessEdge] = {}
+
+    def arc(src: str, dst: str, kind: str, obj: Optional[str] = None) -> None:
+        if src != dst:
+            poly.add_arc(src, dst)
+            labels.setdefault((src, dst), WitnessEdge(src, dst, kind, obj))
+
+    for tid in th.tids:
+        arc(tid + _READ_PART, tid + _WRITE_PART, "split")
+    for earlier, later in th.so_edges():
+        arc(earlier + _WRITE_PART, later + _READ_PART, "so")
+
+    writers = th.writers_of()
+    for writer, reader, obj in th.wr_pairs():
+        if writer == T0:
+            for t3 in writers.get(obj, ()):
+                if t3 != reader:
+                    arc(reader + _READ_PART, t3 + _WRITE_PART, "rw", obj)
+            continue
+        arc(writer + _WRITE_PART, reader + _READ_PART, "wr", obj)
+        for t3 in writers.get(obj, ()):
+            if t3 in (writer, reader):
+                continue
+            first = (t3 + _WRITE_PART, writer + _WRITE_PART)
+            second = (reader + _READ_PART, t3 + _WRITE_PART)
+            poly.add_bipath(Bipath(first, second))
+            labels.setdefault(first, WitnessEdge(first[0], first[1], "ww", obj))
+            labels.setdefault(second, WitnessEdge(second[0], second[1], "rw", obj))
+
+    if conflict_bipaths:
+        for obj, tids in sorted(writers.items()):
+            for i, ta in enumerate(tids):
+                for tb in tids[i + 1 :]:
+                    first = (ta + _WRITE_PART, tb + _READ_PART)
+                    second = (tb + _WRITE_PART, ta + _READ_PART)
+                    poly.add_bipath(Bipath(first, second))
+                    labels.setdefault(
+                        first, WitnessEdge(first[0], first[1], "ww", obj)
+                    )
+                    labels.setdefault(
+                        second, WitnessEdge(second[0], second[1], "ww", obj)
+                    )
+    return poly, labels
+
+
+_DESCRIPTIONS = {
+    "serializability": "not serializable: every candidate commit order "
+    "closes a dependency cycle",
+    "prefix": "prefix consistency violated: transactions observe "
+    "incomparable prefixes of the commit order",
+    "snapshot-isolation": "snapshot isolation violated: no assignment of "
+    "snapshot/commit points avoids a dependency cycle",
+}
+
+
+def _search_verdict(
+    level: str,
+    poly: Polygraph,
+    labels: Dict[Tuple[str, str], WitnessEdge],
+    *,
+    split: bool,
+    candidates: Sequence[Tuple[str, ...]] = (),
+) -> Verdict:
+    # Fast path: a verified candidate order certifies acyclicity without
+    # the exponential search — essential for whole-run histories, where
+    # the commit log (with readers at their snapshot points) is almost
+    # always a witness.
+    for candidate in candidates:
+        nodes = _split_nodes(candidate) if split else candidate
+        if poly.satisfied_by(nodes):
+            return Verdict(level, True, order=tuple(candidate))
+
+    solution = poly.acyclic_witness()
+    if solution is not None:
+        order = solution.topological_order() or []
+        if split:
+            commit_order = tuple(
+                _base_tid(node) for node in order if node.endswith(_WRITE_PART)
+            )
+        else:
+            commit_order = tuple(order)
+        return Verdict(level, True, order=commit_order)
+
+    refutation = poly.refutation()
+    if refutation is None:  # pragma: no cover - refutation mirrors the search
+        refutation = PolygraphRefutation("search-exhausted")
+    witness = _refutation_witness(level, refutation, labels)
+    return Verdict(level, False, witness=witness)
+
+
+def _refutation_witness(
+    level: str,
+    refutation: PolygraphRefutation,
+    labels: Dict[Tuple[str, str], WitnessEdge],
+) -> AnomalyWitness:
+    description = _DESCRIPTIONS[level]
+
+    def edges_of(cycle: Sequence[str]) -> List[WitnessEdge]:
+        return [
+            labels[(a, b)] for a, b in zip(cycle, cycle[1:]) if (a, b) in labels
+        ]
+
+    if refutation.kind == "arc-cycle":
+        return AnomalyWitness(
+            level,
+            description + " (dependency cycle over forced edges)",
+            cycle=refutation.cycle,
+            edges=tuple(edges_of(refutation.cycle)),
+            transactions=_distinct_txns(refutation.cycle),
+        )
+    if refutation.kind == "bipath-blocked":
+        edges: List[WitnessEdge] = []
+        edges.extend(edges_of(refutation.first_cycle))
+        edges.extend(edges_of(refutation.second_cycle))
+        bipath = refutation.bipath
+        detail = ""
+        if bipath is not None:
+            detail = (
+                f" (both orderings of {bipath.first[0]} vs {bipath.second[0]}"
+                " close a cycle)"
+            )
+        return AnomalyWitness(
+            level,
+            description + detail,
+            cycle=refutation.first_cycle or refutation.second_cycle,
+            edges=tuple(dict.fromkeys(edges)),
+            transactions=_distinct_txns(refutation.nodes()),
+        )
+    return AnomalyWitness(
+        level,
+        description + " (refuted by exhaustive search over version orders)",
+    )
+
+
+_CHECKERS = {
+    "read-committed": check_read_committed,
+    "read-atomic": check_read_atomic,
+    "causal": check_causal,
+    "prefix": check_prefix,
+    "snapshot-isolation": check_snapshot_isolation,
+    "serializability": check_serializability,
+}
+
+
+def check_level(th: TransactionalHistory, level: str) -> Verdict:
+    """Run one level checker; ``level`` must be a member of :data:`LEVELS`."""
+    try:
+        checker = _CHECKERS[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown consistency level {level!r}; expected one of {LEVELS}"
+        ) from None
+    return checker(th)

@@ -52,6 +52,17 @@ class Diagnostic:
             text += f"\n    witness: {self.witness}"
         return text
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (for ``repro-audit --format json``)."""
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "cycle": self.cycle,
+            "objects": list(self.objects),
+            "transactions": list(self.transactions),
+            "witness": self.witness,
+        }
+
 
 @dataclass(frozen=True)
 class AuditReport:
@@ -91,3 +102,12 @@ class AuditReport:
             for diag in self.diagnostics:
                 lines.append("  " + diag.format().replace("\n", "\n  "))
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (for ``repro-audit --format json``)."""
+        return {
+            "ok": self.ok,
+            "checked": list(self.checked),
+            "config_hash": self.config_hash,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }

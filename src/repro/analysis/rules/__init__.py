@@ -9,7 +9,11 @@ from __future__ import annotations
 
 from .allocation import NoHotLoopAllocationRule
 from .base import RULES, Finding, LintRule, ModuleUnderLint, register
-from .determinism import NoUnseededRandomRule, NoWallClockRule
+from .determinism import (
+    NoUnseededRandomAnywhereRule,
+    NoUnseededRandomRule,
+    NoWallClockRule,
+)
 from .encapsulation import NoForeignPrivateMutationRule
 from .exports import MandatoryAllRule
 from .floats import NoFloatEqualityRule
@@ -22,6 +26,7 @@ __all__ = [
     "register",
     "NoWallClockRule",
     "NoUnseededRandomRule",
+    "NoUnseededRandomAnywhereRule",
     "NoForeignPrivateMutationRule",
     "NoFloatEqualityRule",
     "MandatoryAllRule",

@@ -15,11 +15,18 @@ Two things silently break that:
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from .base import Finding, LintRule, ModuleUnderLint, register
 
-__all__ = ["NoWallClockRule", "NoUnseededRandomRule"]
+__all__ = [
+    "NoWallClockRule",
+    "NoUnseededRandomRule",
+    "NoUnseededRandomAnywhereRule",
+]
+
+_ALLOW_UNSEEDED = re.compile(r"#\s*rep:\s*allow-unseeded\b")
 
 _WALLCLOCK_TIME_ATTRS = {
     "time",
@@ -148,3 +155,41 @@ class NoUnseededRandomRule(LintRule):
                             "shared module-level RNG; import random.Random and "
                             "seed it from the config",
                         )
+
+
+@register
+class NoUnseededRandomAnywhereRule(NoUnseededRandomRule):
+    """REP002's detection, widened to the entire package tree.
+
+    REP002 guards the layers where unseeded randomness breaks
+    bit-reproducibility outright.  Everything else under ``src/repro/``
+    (analysis, experiments, theory) must be deterministic too — results
+    tables, certifier verdicts, and generated schedules all feed asserted
+    artifacts.  Deliberate module-level draws are acknowledged with a
+    ``# rep: allow-unseeded`` comment on the offending line.
+    """
+
+    rule_id = "REP007"
+    description = (
+        "no module-level RNG anywhere under src/repro/ (REP002's kernel "
+        "scopes excluded); seed a generator instance from the config, or "
+        "mark deliberate draws `# rep: allow-unseeded`"
+    )
+    scopes = ()
+
+    def applies_to(self, posix_path: str) -> bool:
+        if "repro/" in posix_path and any(
+            scope in posix_path for scope in NoUnseededRandomRule.scopes
+        ):
+            return False  # REP002 already owns the kernel scopes
+        return True
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        allowed = {
+            lineno
+            for lineno, line in enumerate(module.source.splitlines(), start=1)
+            if _ALLOW_UNSEEDED.search(line)
+        }
+        for finding in super().check(module):
+            if finding.line not in allowed:
+                yield finding

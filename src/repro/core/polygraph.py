@@ -18,13 +18,14 @@ after the reader" choice of version-order placement.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .model import History, T0
 from .readsfrom import live_set
 from .serialgraph import Digraph
 
-__all__ = ["Bipath", "Polygraph", "reader_polygraph"]
+__all__ = ["Bipath", "Polygraph", "PolygraphRefutation", "reader_polygraph"]
 
 Arc = Tuple[str, str]
 
@@ -66,6 +67,7 @@ class Polygraph:
         self.nodes: Set[str] = set(nodes)
         self.arcs: Set[Arc] = set()
         self.bipaths: List[Bipath] = []
+        self._bipath_set: Set[Bipath] = set()  # dedup index over bipaths
         for arc in arcs:
             self.add_arc(*arc)
         for bipath in bipaths:
@@ -84,7 +86,8 @@ class Polygraph:
     def add_bipath(self, bipath: Bipath) -> None:
         for src, dst in bipath:
             self.nodes.update((src, dst))
-        if bipath not in self.bipaths:
+        if bipath not in self._bipath_set:
+            self._bipath_set.add(bipath)
             self.bipaths.append(bipath)
 
     def __repr__(self) -> str:
@@ -109,6 +112,29 @@ class Polygraph:
             yield g
 
     # ------------------------------------------------------------------
+    def satisfied_by(self, order: Sequence[str]) -> bool:
+        """Is ``order`` a serialization witness for this polygraph?
+
+        True iff ``order`` is a duplicate-free cover of the node set that
+        orients every fixed arc forwards and satisfies at least one side
+        of every bipath.  Linear in ``|A| + |B|`` — callers with a good
+        guess (e.g. a run's commit order) can certify acyclicity without
+        entering the exponential search.
+        """
+        index = {node: i for i, node in enumerate(order)}
+        if len(index) != len(order):
+            return False
+        if any(node not in index for node in self.nodes):
+            return False
+        for src, dst in self.arcs:
+            if index[src] >= index[dst]:
+                return False
+        for bipath in self.bipaths:
+            (a1, b1), (a2, b2) = bipath.first, bipath.second
+            if index[a1] >= index[b1] and index[a2] >= index[b2]:
+                return False
+        return True
+
     def is_acyclic(self) -> bool:
         """True iff some compatible digraph is acyclic (Definition 5)."""
         return self.acyclic_witness() is not None
@@ -128,7 +154,97 @@ class Polygraph:
             return None
         return self._search(base, list(self.bipaths))
 
+    def refutation(self) -> Optional["PolygraphRefutation"]:
+        """Explain why no acyclic compatible digraph exists.
+
+        Returns ``None`` when the polygraph is acyclic.  Otherwise the
+        refutation is found by *saturation*: starting from the fixed arcs,
+        bipaths whose one side would close a cycle have their other side
+        forced, until either a fixpoint is reached or a contradiction
+        surfaces.  Three kinds of contradiction witness, in increasing
+        generality:
+
+        - ``"arc-cycle"``: the fixed arcs alone contain a cycle;
+        - ``"bipath-blocked"``: saturation reached a bipath whose *both*
+          arcs would close a cycle — the witness carries the bipath and
+          the two would-be cycles;
+        - ``"search-exhausted"``: saturation alone is inconclusive but the
+          backtracking search proved every compatible digraph cyclic (rare
+          for the history sizes here; no single minimal cycle exists).
+        """
+        base = Digraph(sorted(self.nodes))
+        for arc in self.arcs:
+            base.add_edge(*arc)
+        if not base.is_acyclic():
+            return PolygraphRefutation("arc-cycle", cycle=tuple(base.find_cycle() or ()))
+
+        pending = list(self.bipaths)
+        while True:
+            remaining: List[Bipath] = []
+            forced: List[Arc] = []
+            for bipath in pending:
+                a1, a2 = bipath.first, bipath.second
+                if base.has_edge(*a1) or base.has_edge(*a2):
+                    continue
+                path1 = self._closing_cycle(base, a1)
+                path2 = self._closing_cycle(base, a2)
+                if path1 is not None and path2 is not None:
+                    return PolygraphRefutation(
+                        "bipath-blocked",
+                        bipath=bipath,
+                        first_cycle=path1,
+                        second_cycle=path2,
+                    )
+                if path1 is None and path2 is None:
+                    remaining.append(bipath)
+                else:
+                    forced.append(a2 if path1 is not None else a1)
+            if not forced:
+                pending = remaining
+                break
+            for arc in forced:
+                cycle = self._closing_cycle(base, arc)
+                if cycle is not None:
+                    return PolygraphRefutation("arc-cycle", cycle=cycle)
+                base.add_edge(*arc)
+            pending = remaining
+
+        if not pending:
+            return None  # saturated graph is acyclic and complete
+        if self._search(base.copy(), list(pending)) is not None:
+            return None
+        return PolygraphRefutation("search-exhausted")
+
     # -- helpers --------------------------------------------------------
+    @staticmethod
+    def _closing_cycle(graph: Digraph, arc: Arc) -> Optional[Tuple[str, ...]]:
+        """The cycle adding ``arc`` would close, or ``None``.
+
+        The cycle is returned as ``(src, dst, ..., src)`` — ``arc``
+        followed by a shortest existing ``dst → … → src`` path.
+        """
+        src, dst = arc
+        if src == dst:
+            return (src, src)
+        parent: Dict[str, str] = {dst: dst}
+        frontier = [dst]
+        while frontier:
+            nxt_frontier: List[str] = []
+            for node in frontier:
+                for succ in graph.successors(node):
+                    if succ in parent:
+                        continue
+                    parent[succ] = node
+                    if succ == src:
+                        path = [src]
+                        while path[-1] != dst:
+                            path.append(parent[path[-1]])
+                        path.reverse()
+                        return (src,) + tuple(path)
+                    nxt_frontier.append(succ)
+            frontier = nxt_frontier
+        return None
+
     @staticmethod
     def _creates_cycle(graph: Digraph, arc: Arc) -> bool:
         """Would adding ``arc`` close a cycle?  (Is dst→…→src reachable?)"""
@@ -186,6 +302,35 @@ class Polygraph:
             if solution is not None:
                 return solution
         return None
+
+
+@dataclass(frozen=True)
+class PolygraphRefutation:
+    """Why a polygraph has no acyclic compatible digraph.
+
+    ``kind`` is ``"arc-cycle"`` (the ``cycle`` field holds a cycle
+    ``(a, b, ..., a)`` over fixed/forced arcs), ``"bipath-blocked"``
+    (``bipath`` plus the ``first_cycle``/``second_cycle`` each side would
+    close), or ``"search-exhausted"`` (refuted only by exhaustive search).
+    """
+
+    kind: str
+    cycle: Tuple[str, ...] = ()
+    bipath: Optional[Bipath] = None
+    first_cycle: Tuple[str, ...] = ()
+    second_cycle: Tuple[str, ...] = ()
+
+    def nodes(self) -> Tuple[str, ...]:
+        """All distinct nodes implicated, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for group in (self.cycle, self.first_cycle, self.second_cycle):
+            for node in group:
+                seen.setdefault(node, None)
+        if self.bipath is not None:
+            for src, dst in self.bipath:
+                seen.setdefault(src, None)
+                seen.setdefault(dst, None)
+        return tuple(seen)
 
 
 def reader_polygraph(history: History, tid: str) -> Polygraph:

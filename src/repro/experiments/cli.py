@@ -13,10 +13,17 @@ paper's setting is 1000 (and takes minutes per figure in pure Python).
 
 Also installed as ``repro-audit`` (:func:`audit_main`): runs one seeded
 simulation with per-cycle trace recording and checks every registered
-protocol invariant (:mod:`repro.analysis`) against the run.  Exits
-non-zero when any invariant is violated.  Example::
+protocol invariant (:mod:`repro.analysis`) against the run, plus — with
+``--consistency`` — the transactional-consistency certifier
+(:mod:`repro.analysis.consistency`) on the reconstructed history.
+Examples::
 
     repro-audit --protocol f-matrix --transactions 50 --objects 40
+    repro-audit --protocol datacycle --consistency update --format json
+
+Exit codes are stable and documented: **0** when every requested check
+passed, **1** when any invariant or consistency check found a violation,
+**2** on usage errors (unknown flags, bad invariant ids, unknown levels).
 """
 
 from __future__ import annotations
@@ -163,12 +170,41 @@ def build_audit_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered invariant ids and exit",
     )
+    from ..analysis.consistency import LEVELS
+
+    parser.add_argument(
+        "--consistency",
+        action="append",
+        default=None,
+        metavar="LEVEL",
+        choices=sorted(LEVELS) + ["all", "update"],
+        dest="consistency",
+        help="also certify the reconstructed history at this isolation "
+        "level (repeatable); 'update' checks the paper's update-consistency "
+        "guarantee (update sub-history + each reader's perceived sub-history "
+        "serializable), 'all' runs every level checker",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format; json emits one object covering invariant and "
+        "consistency results (witnesses included)",
+    )
     return parser
 
 
 def audit_main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of ``repro-audit``."""
+    """Entry point of ``repro-audit``.  Exit codes: 0 clean, 1 violation,
+    2 usage error (argparse)."""
+    import json
+
     from ..analysis import audit_simulation, invariant_ids
+    from ..analysis.consistency import (
+        LEVELS,
+        certify,
+        certify_update_consistency,
+    )
     from ..sim import SimulationConfig, run_simulation
 
     args = build_audit_parser().parse_args(argv)
@@ -186,6 +222,18 @@ def audit_main(argv: Optional[List[str]] = None) -> int:
                 f"see --list-invariants"
             )
 
+    # Expand the requested consistency checks, preserving request order.
+    levels: List[str] = []
+    check_update = False
+    for entry in args.consistency or []:
+        if entry == "update":
+            check_update = True
+        elif entry == "all":
+            levels.extend(lv for lv in LEVELS if lv not in levels)
+        elif entry not in levels:
+            levels.append(entry)
+
+    text = args.format == "text"
     config = SimulationConfig(
         protocol=args.protocol,
         num_objects=args.objects,
@@ -194,10 +242,11 @@ def audit_main(argv: Optional[List[str]] = None) -> int:
         modulo_timestamps=args.modulo_timestamps,
         audit=True,
     )
-    print(
-        f"auditing protocol={config.protocol} objects={config.num_objects} "
-        f"transactions={config.num_client_transactions} seed={config.seed}"
-    )
+    if text:
+        print(
+            f"auditing protocol={config.protocol} objects={config.num_objects} "
+            f"transactions={config.num_client_transactions} seed={config.seed}"
+        )
     result = run_simulation(config)
     if args.invariants is None and result.audit_report is not None:
         report = result.audit_report  # run_simulation already audited
@@ -205,13 +254,52 @@ def audit_main(argv: Optional[List[str]] = None) -> int:
         report = audit_simulation(result, invariants=args.invariants)
     trace = result.trace
     assert trace is not None and report is not None
-    print(
-        f"run complete: {len(trace.cycles)} broadcast cycles, "
-        f"{result.metrics.server_commits} server commits, "
-        f"{len(trace.client_commits)} client commits"
+
+    consistency_report = None
+    update_report = None
+    if levels or check_update:
+        history = trace.transactional_history(result.server.database)
+        if levels:
+            consistency_report = certify(history, levels)
+        if check_update:
+            update_report = certify_update_consistency(history)
+
+    ok = (
+        report.ok
+        and (consistency_report is None or consistency_report.ok)
+        and (update_report is None or update_report.ok)
     )
-    print(report.format())
-    return 0 if report.ok else 1
+    if text:
+        print(
+            f"run complete: {len(trace.cycles)} broadcast cycles, "
+            f"{result.metrics.server_commits} server commits, "
+            f"{len(trace.client_commits)} client commits"
+        )
+        print(report.format())
+        if consistency_report is not None:
+            print("consistency levels:")
+            print("  " + consistency_report.format().replace("\n", "\n  "))
+        if update_report is not None:
+            print("update consistency:")
+            print("  " + update_report.format().replace("\n", "\n  "))
+    else:
+        payload: dict = {
+            "ok": ok,
+            "config": {
+                "protocol": config.protocol,
+                "objects": config.num_objects,
+                "transactions": config.num_client_transactions,
+                "seed": config.seed,
+                "modulo_timestamps": config.modulo_timestamps,
+            },
+            "invariants": report.to_dict(),
+        }
+        if consistency_report is not None:
+            payload["consistency"] = consistency_report.to_dict()
+        if update_report is not None:
+            payload["update_consistency"] = update_report.to_dict()
+        print(json.dumps(payload, indent=2))
+    return 0 if ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -246,7 +334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json.dumps([s.to_dict() for s in summaries], indent=2) + "\n"
             )
             print(f"wrote {args.output}")
-        return 0 if all(s.audit_ok for s in summaries) else 1
+        return 0 if all(s.audit_ok and s.consistency_ok for s in summaries) else 1
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.experiment == "all":

@@ -5,9 +5,12 @@ under modulo timestamps, every client dozing through *more* than a full
 window, a mid-run server crash recovered from the durable commit log,
 and a lossy uplink — and audits every registered protocol invariant
 over the recorded trace.  The run passes when each protocol completes
-with a clean audit and the staleness guard's aborts show up attributed
-in the metrics (``aborts_staleness``), i.e. wraparound ambiguity is
-survived by aborting, never by committing across a wrap gap.
+with a clean audit, a certified update-consistent history
+(:func:`repro.analysis.consistency.certify_update_consistency` — the
+paper's Sec. 4 guarantee, which doze, crash, and loss must not erode),
+and the staleness guard's aborts show up attributed in the metrics
+(``aborts_staleness``), i.e. wraparound ambiguity is survived by
+aborting, never by committing across a wrap gap.
 
 The schedule is deterministic (no sampling), so two runs with the same
 seed and transaction count are bit-identical.  Audit runs record every
@@ -52,6 +55,8 @@ class FaultRunSummary:
     uplink_retries: int
     audit_ok: bool
     audit_violations: int
+    consistency_ok: bool
+    consistency_failures: int
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -68,6 +73,8 @@ class FaultRunSummary:
             "uplink_retries": self.uplink_retries,
             "audit_ok": self.audit_ok,
             "audit_violations": self.audit_violations,
+            "consistency_ok": self.consistency_ok,
+            "consistency_failures": self.consistency_failures,
         }
 
 
@@ -117,6 +124,8 @@ def run_faults_report(
     *, transactions: int = 30, seed: int = 42
 ) -> Tuple[FaultRunSummary, ...]:
     """Run the faulty scenario for every protocol in ``FAULT_PROTOCOLS``."""
+    from ..analysis.consistency import certify_update_consistency
+
     summaries = []
     for protocol in FAULT_PROTOCOLS:
         result = run_simulation(
@@ -125,6 +134,10 @@ def run_faults_report(
         metrics = result.metrics
         report = result.audit_report
         assert report is not None  # audit=True in faults_config
+        assert result.trace is not None
+        consistency = certify_update_consistency(
+            result.trace.transactional_history(result.server.database)
+        )
         summaries.append(
             FaultRunSummary(
                 protocol=protocol,
@@ -140,6 +153,8 @@ def run_faults_report(
                 uplink_retries=metrics.uplink_retries,
                 audit_ok=report.ok,
                 audit_violations=len(report.diagnostics),
+                consistency_ok=consistency.ok,
+                consistency_failures=len(consistency.failures()),
             )
         )
     return tuple(summaries)
@@ -150,7 +165,8 @@ def format_faults_report(summaries: Tuple[FaultRunSummary, ...]) -> str:
     header = (
         f"{'protocol':<12} {'commits':>7} {'cycles':>6} "
         f"{'conflict':>8} {'stale':>5} {'crash':>5} {'uplink':>6} "
-        f"{'doze':>4} {'stall':>5} {'replay':>6} {'lost':>4} {'audit':>5}"
+        f"{'doze':>4} {'stall':>5} {'replay':>6} {'lost':>4} {'audit':>5} "
+        f"{'consist':>7}"
     )
     lines = [header, "-" * len(header)]
     for s in summaries:
@@ -161,6 +177,7 @@ def format_faults_report(summaries: Tuple[FaultRunSummary, ...]) -> str:
             f"{causes.get('crash', 0):>5} {causes.get('uplink', 0):>6} "
             f"{s.doze_slots_missed:>4} {s.crash_slot_stalls:>5} "
             f"{s.quiescent_replay_cycles:>6} {s.server_txns_lost:>4} "
-            f"{'ok' if s.audit_ok else 'FAIL':>5}"
+            f"{'ok' if s.audit_ok else 'FAIL':>5} "
+            f"{'ok' if s.consistency_ok else 'FAIL':>7}"
         )
     return "\n".join(lines)

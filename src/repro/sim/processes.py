@@ -229,8 +229,10 @@ def client_process(
                 yield restart_pause
 
         metrics.record_commit(tid, submit_time, sim.now, restarts)
-        if trace is not None and not is_update:
-            trace.record_client_commit(tid, runtime.versions, runtime.reads)
+        if trace is not None:
+            trace.record_session_commit(client_id, tid)
+            if not is_update:
+                trace.record_client_commit(tid, runtime.versions, runtime.reads)
         yield Timeout(rng.expovariate(1.0 / config.mean_inter_transaction_delay))
 
     state.clients_done += 1

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.consistency.histories import TransactionalHistory
 from ..broadcast.program import BroadcastCycle, ObjectVersion
 from ..core.approx import ApproxReport, approx_report
 from ..core.model import History, Operation, T0
@@ -47,6 +48,10 @@ class TraceRecorder:
 
     def __init__(self) -> None:
         self.client_commits: List[ClientCommitRecord] = []
+        #: per-client program order over *all* committed client transactions
+        #: (read-only and update alike), recorded at verdict time — the
+        #: exact session order, no cycle-number reconstruction needed
+        self.session_commits: List[Tuple[int, str]] = []
         #: per-cycle broadcast images, recorded only when cycle recording
         #: is enabled (``SimulationConfig(audit=True)``) — each image holds
         #: the cycle's frozen versions and control snapshot, which is what
@@ -64,6 +69,10 @@ class TraceRecorder:
         self.client_commits.append(
             ClientCommitRecord(tid, tuple(versions), tuple(reads))
         )
+
+    def record_session_commit(self, client_id: int, tid: str) -> None:
+        """Note that ``client_id`` committed ``tid`` (program order)."""
+        self.session_commits.append((client_id, tid))
 
     def record_cycle(self, broadcast: BroadcastCycle) -> None:
         """Retain one frozen broadcast image (audit runs only)."""
@@ -113,6 +122,28 @@ class TraceRecorder:
         return History(ops_out, strict=False)
 
     # ------------------------------------------------------------------
+    def transactional_history(self, database: Database) -> TransactionalHistory:
+        """The run as a sessioned ``⟨T, so, wr⟩`` history for the certifier.
+
+        Lossless with respect to committed work: aborted/stale read
+        attempts never reach the records (clients record only at commit),
+        and doze or crash gaps merely stretch the cycle numbers the reads
+        carry, which the certifier tolerates.  Sessions are the per-client
+        program orders recorded at verdict time; transactions that are
+        absent from the committed history (e.g. an update whose submission
+        was lost) are dropped by the adapter.  The server's interleaved
+        commit order is deliberately *not* a session: the broadcast
+        protocols promise update consistency, not strict serializability
+        against the server's serialization order.
+        """
+        sessions: Dict[int, List[str]] = {}
+        for client_id, tid in self.session_commits:
+            sessions.setdefault(client_id, []).append(tid)
+        return TransactionalHistory(
+            self.build_history(database),
+            [sessions[client] for client in sorted(sessions)],
+        )
+
     def verify(self, database: Database) -> ApproxReport:
         """Run APPROX on the reconstructed history (should accept)."""
         return approx_report(self.build_history(database))

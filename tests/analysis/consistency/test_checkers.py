@@ -1,0 +1,180 @@
+"""Unit tests for the isolation-level checkers (classic anomalies).
+
+Each fixture is a textbook anomaly; the table below says which levels
+must reject it.  Reads are positional (a read observes the latest commit
+before it), so "stale" observations are encoded by placing the read
+*before* the ignored commit.
+
+==================  ======================================================
+fixture             fails at
+==================  ======================================================
+serial              nothing
+fractured read      read-atomic and everything stronger
+causal violation    causal and everything stronger
+long fork           prefix, snapshot-isolation, serializability
+lost update         snapshot-isolation, serializability
+write skew          serializability only
+==================  ======================================================
+"""
+
+import pytest
+
+from repro.analysis.consistency import LEVELS, check_level
+from repro.analysis.consistency.checkers import (
+    check_causal,
+    check_prefix,
+    check_read_atomic,
+    check_read_committed,
+    check_serializability,
+    check_snapshot_isolation,
+)
+from repro.analysis.consistency.histories import TransactionalHistory
+from repro.core.model import parse_history
+
+SERIAL = "w1[x] c1 r2[x] w2[y] c2 r3[x] r3[y] c3"
+
+#: t2 sees t1's x but the initial y — t1's writes arrive fractured
+FRACTURED_READ = "r2[y] w1[x] w1[y] c1 r2[x] c2"
+
+#: t3 sees y (written after t2 read t1's x) but not t1's causally-earlier x
+CAUSAL_VIOLATION = "r3[x] w1[x] c1 r2[x] w2[y] c2 r3[y] c3"
+
+#: t3 and t4 see the two independent writes in opposite orders
+LONG_FORK = "r4[x] w1[x] c1 r3[x] r3[y] c3 w2[y] c2 r4[y] c4"
+
+#: t1 and t2 both read initial x, both write x — one update is lost
+LOST_UPDATE = "r1[x] r2[x] w1[x] c1 w2[x] c2"
+
+#: disjoint writes based on mutually-stale reads — SI's hallmark anomaly
+WRITE_SKEW = "r1[x] r2[y] w1[y] c1 w2[x] c2"
+
+
+def verdicts(text):
+    th = TransactionalHistory(parse_history(text))
+    return {level: check_level(th, level) for level in LEVELS}
+
+
+def failing_levels(text):
+    return {level for level, v in verdicts(text).items() if not v.ok}
+
+
+class TestClassicAnomalies:
+    def test_serial_history_passes_everything(self):
+        assert failing_levels(SERIAL) == set()
+
+    def test_fractured_read(self):
+        assert failing_levels(FRACTURED_READ) == {
+            "read-atomic",
+            "causal",
+            "prefix",
+            "snapshot-isolation",
+            "serializability",
+        }
+
+    def test_causal_violation(self):
+        assert failing_levels(CAUSAL_VIOLATION) == {
+            "causal",
+            "prefix",
+            "snapshot-isolation",
+            "serializability",
+        }
+
+    def test_long_fork(self):
+        assert failing_levels(LONG_FORK) == {
+            "prefix",
+            "snapshot-isolation",
+            "serializability",
+        }
+
+    def test_lost_update(self):
+        assert failing_levels(LOST_UPDATE) == {
+            "snapshot-isolation",
+            "serializability",
+        }
+
+    def test_write_skew_distinguishes_si_from_ser(self):
+        assert failing_levels(WRITE_SKEW) == {"serializability"}
+
+
+class TestWitnesses:
+    def test_fail_verdict_carries_witness(self):
+        th = TransactionalHistory(parse_history(WRITE_SKEW))
+        verdict = check_serializability(th)
+        assert not verdict.ok
+        witness = verdict.witness
+        assert witness is not None
+        assert witness.level == "serializability"
+        assert set(witness.transactions) >= {"t1", "t2"}
+        assert witness.format()  # renders without error
+        payload = witness.to_dict()
+        assert payload["level"] == "serializability"
+        assert payload["transactions"]
+
+    def test_polynomial_fail_witness_has_cycle_and_edges(self):
+        th = TransactionalHistory(parse_history(FRACTURED_READ))
+        verdict = check_read_atomic(th)
+        assert not verdict.ok
+        assert verdict.witness is not None
+        assert verdict.witness.cycle
+        assert verdict.witness.edges
+        # every cycle step is a labelled ordering fact src --kind--> dst
+        for edge in verdict.witness.edges:
+            assert "-->" in edge.format()
+
+    def test_pass_verdict_carries_certifying_order(self):
+        th = TransactionalHistory(parse_history(SERIAL))
+        for checker in (
+            check_serializability,
+            check_prefix,
+            check_snapshot_isolation,
+        ):
+            verdict = checker(th)
+            assert verdict.ok
+            assert set(verdict.order) == {"t1", "t2", "t3"}
+
+    def test_ser_pass_order_is_a_valid_serialization(self):
+        th = TransactionalHistory(parse_history(SERIAL))
+        order = check_serializability(th).order
+        position = {tid: i for i, tid in enumerate(order)}
+        for writer, reader, _obj in th.wr_pairs():
+            if writer != "t0":
+                assert position[writer] < position[reader]
+
+
+class TestSessions:
+    def test_session_order_can_break_causal(self):
+        # t2 overwrites x after reading t1's version, so t1 → t2 is causal;
+        # a session that observes t2's version and *then* t1's makes the
+        # stale second read a causal violation
+        text = "w1[x] c1 r3[x] r2[x] w2[x] c2 r4[x] c3 c4"
+        history = parse_history(text)
+        free = TransactionalHistory(history)
+        assert check_causal(free).ok
+        sessioned = TransactionalHistory(history, [["t4", "t3"]])
+        assert not check_causal(sessioned).ok
+
+    def test_session_order_feeds_read_committed(self):
+        th = TransactionalHistory(parse_history(SERIAL), [["t1", "t2", "t3"]])
+        assert check_read_committed(th).ok
+
+    def test_sessions_drop_uncommitted_members(self):
+        th = TransactionalHistory(
+            parse_history(SERIAL), [["t1", "ghost", "t2", "t3"]]
+        )
+        assert th.so_edges() == (("t1", "t2"), ("t2", "t3"))
+
+    def test_repeated_session_member_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionalHistory(parse_history(SERIAL), [["t1", "t2", "t1"]])
+
+
+class TestCheckLevel:
+    def test_unknown_level_raises(self):
+        th = TransactionalHistory(parse_history(SERIAL))
+        with pytest.raises(ValueError):
+            check_level(th, "linearizability")
+
+    def test_all_levels_dispatch(self):
+        th = TransactionalHistory(parse_history(SERIAL))
+        for level in LEVELS:
+            assert check_level(th, level).level == level

@@ -1,0 +1,82 @@
+"""End-to-end: simulator traces through the certifier.
+
+One small seeded run per protocol; the reconstructed sessioned history
+must certify the paper's update-consistency guarantee, and Datacycle's
+single-snapshot-point semantics must additionally certify full
+serializability of the global history.
+"""
+
+import pytest
+
+from repro.analysis.consistency import (
+    LEVELS,
+    certify,
+    certify_update_consistency,
+)
+from repro.sim import SimulationConfig, run_simulation
+
+PROTOCOLS = ("f-matrix", "r-matrix", "datacycle")
+
+
+def run(protocol, **overrides):
+    config = SimulationConfig(
+        protocol=protocol,
+        num_objects=15,
+        num_client_transactions=12,
+        seed=7,
+        audit=True,
+        **overrides,
+    )
+    return run_simulation(config)
+
+
+@pytest.fixture(scope="module")
+def transactional_histories():
+    out = {}
+    for protocol in PROTOCOLS:
+        result = run(protocol)
+        out[protocol] = result.trace.transactional_history(
+            result.server.database
+        )
+    return out
+
+
+class TestUpdateConsistency:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_every_protocol_certifies(self, transactional_histories, protocol):
+        report = certify_update_consistency(transactional_histories[protocol])
+        assert report.ok, report.format()
+        assert report.reader_verdicts  # the run committed readers
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_weak_levels_hold_on_full_history(
+        self, transactional_histories, protocol
+    ):
+        report = certify(
+            transactional_histories[protocol],
+            ["read-committed", "read-atomic", "causal"],
+        )
+        assert report.ok, report.format()
+
+
+class TestDatacycleGlobalSerializability:
+    def test_all_six_levels_pass(self, transactional_histories):
+        report = certify(transactional_histories["datacycle"], LEVELS)
+        assert report.ok, report.format()
+        assert report.verdict("serializability").order
+
+
+class TestSessionRecording:
+    def test_sessions_cover_client_commits(self, transactional_histories):
+        th = transactional_histories["f-matrix"]
+        session_members = {tid for session in th.sessions for tid in session}
+        client_tids = {tid for tid in th.tids if tid.startswith("cl")}
+        # every committed client transaction sits in exactly one session
+        assert session_members <= client_tids
+        for session in th.sessions:
+            assert len(set(session)) == len(session)
+
+    def test_modulo_run_certifies_too(self):
+        result = run("f-matrix", modulo_timestamps=True)
+        th = result.trace.transactional_history(result.server.database)
+        assert certify_update_consistency(th).ok

@@ -64,12 +64,18 @@ def write_fixture(tmp_path: Path, name: str, source: str) -> str:
     return str(path)
 
 
+#: fixtures that trip more than their own rule: out-of-tree files are in
+#: scope for every rule, and REP007 is REP002 widened to the whole tree
+EXPECTED_RULES = {"REP002": {"REP002", "REP007"}}
+
+
 class TestRules:
     def test_each_fixture_trips_exactly_its_rule(self, tmp_path):
         for rule_id, source in FIXTURES.items():
             path = write_fixture(tmp_path, f"fixture_{rule_id.lower()}.py", source)
             findings = lint_file(path)
-            assert {f.rule for f in findings} == {rule_id}, (
+            expected = EXPECTED_RULES.get(rule_id, {rule_id})
+            assert {f.rule for f in findings} == expected, (
                 f"{rule_id}: got {[f.format() for f in findings]}"
             )
 
@@ -89,7 +95,7 @@ class TestRules:
             "__all__ = []\nimport numpy as np\n\n\ndef draw():\n"
             "    return np.random.rand(3)\n",
         )
-        assert {f.rule for f in lint_file(path)} == {"REP002"}
+        assert {f.rule for f in lint_file(path)} == {"REP002", "REP007"}
 
     def test_seeded_rng_not_flagged(self, tmp_path):
         path = write_fixture(
@@ -189,6 +195,26 @@ class TestRules:
         assert wallclock.applies_to("src/repro/sim/engine.py")
         assert not wallclock.applies_to("src/repro/experiments/cli.py")
         assert wallclock.applies_to("tests/analysis/fixture.py")
+
+    def test_rep007_covers_tree_outside_kernel_scopes(self):
+        anywhere = next(r for r in RULES if r.rule_id == "REP007")
+        # REP002's kernel scopes stay REP002's: no double-reporting
+        assert not anywhere.applies_to("src/repro/sim/processes.py")
+        assert not anywhere.applies_to("src/repro/core/model.py")
+        # ...but the rest of the tree is now covered
+        assert anywhere.applies_to("src/repro/experiments/figures.py")
+        assert anywhere.applies_to("src/repro/analysis/consistency/explore.py")
+        assert anywhere.applies_to("tests/analysis/fixture.py")
+
+    def test_allow_unseeded_suppresses_rep007_only(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "allowed_unseeded.py",
+            "__all__ = []\nimport random\n\n\ndef pick():\n"
+            "    return random.random()  # rep: allow-unseeded\n",
+        )
+        # the escape comment quiets REP007; REP002 still reports the draw
+        assert {f.rule for f in lint_file(path)} == {"REP002"}
 
 
 class TestDriver:

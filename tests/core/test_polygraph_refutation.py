@@ -1,0 +1,90 @@
+"""Tests for Polygraph.refutation() and the satisfied_by fast path."""
+
+from repro.core.polygraph import Bipath, Polygraph
+
+
+def cyclic_arcs():
+    return Polygraph("abc", arcs=[("a", "b"), ("b", "c"), ("c", "a")])
+
+
+def blocked_bipath():
+    # fixed arcs pin a before b and c before d; the bipath demands
+    # b before a OR d before c — both sides close a cycle
+    poly = Polygraph("abcd", arcs=[("a", "b"), ("c", "d")])
+    poly.add_bipath(Bipath(("b", "a"), ("d", "c")))
+    return poly
+
+
+class TestRefutation:
+    def test_acyclic_polygraph_has_no_refutation(self):
+        poly = Polygraph("ab", arcs=[("a", "b")])
+        assert poly.refutation() is None
+        assert poly.is_acyclic()
+
+    def test_arc_cycle_refutation(self):
+        refutation = cyclic_arcs().refutation()
+        assert refutation is not None
+        assert refutation.kind == "arc-cycle"
+        assert refutation.cycle[0] == refutation.cycle[-1]
+        assert set(refutation.nodes()) == {"a", "b", "c"}
+
+    def test_bipath_blocked_refutation(self):
+        refutation = blocked_bipath().refutation()
+        assert refutation is not None
+        assert refutation.kind == "bipath-blocked"
+        assert refutation.bipath is not None
+        assert refutation.first_cycle and refutation.second_cycle
+        assert set(refutation.nodes()) == {"a", "b", "c", "d"}
+
+    def test_forced_side_is_propagated(self):
+        # one bipath side closes a cycle, so the other side is forced;
+        # the forced arc then blocks a second bipath entirely
+        poly = Polygraph("abc", arcs=[("a", "b")])
+        poly.add_bipath(Bipath(("b", "a"), ("b", "c")))  # forces b -> c
+        poly.add_bipath(Bipath(("c", "b"), ("b", "a")))  # now both blocked
+        refutation = poly.refutation()
+        assert refutation is not None
+        assert refutation.kind in ("arc-cycle", "bipath-blocked")
+
+    def test_refutation_agrees_with_search(self):
+        for poly in (cyclic_arcs(), blocked_bipath()):
+            assert not poly.is_acyclic()
+            assert poly.refutation() is not None
+
+
+class TestSatisfiedBy:
+    def test_accepts_topological_cover(self):
+        poly = Polygraph("abc", arcs=[("a", "b"), ("b", "c")])
+        assert poly.satisfied_by(("a", "b", "c"))
+
+    def test_rejects_backwards_arc(self):
+        poly = Polygraph("ab", arcs=[("a", "b")])
+        assert not poly.satisfied_by(("b", "a"))
+
+    def test_rejects_incomplete_or_duplicated_cover(self):
+        poly = Polygraph("abc", arcs=[("a", "b")])
+        assert not poly.satisfied_by(("a", "b"))
+        assert not poly.satisfied_by(("a", "b", "b", "c"))
+
+    def test_bipath_needs_only_one_side(self):
+        poly = Polygraph("abcd")
+        poly.add_bipath(Bipath(("a", "b"), ("c", "d")))
+        assert poly.satisfied_by(("a", "b", "d", "c"))  # first side holds
+        assert poly.satisfied_by(("b", "a", "c", "d"))  # second side holds
+        assert not poly.satisfied_by(("b", "a", "d", "c"))  # neither
+
+    def test_witness_order_from_search_is_satisfying(self):
+        poly = Polygraph("abcd", arcs=[("a", "b"), ("b", "c")])
+        poly.add_bipath(Bipath(("c", "d"), ("d", "a")))
+        witness = poly.acyclic_witness()
+        assert witness is not None
+        order = witness.topological_order()
+        assert order is not None
+        assert poly.satisfied_by(tuple(order))
+
+    def test_duplicate_bipaths_registered_once(self):
+        poly = Polygraph("abcd")
+        bipath = Bipath(("a", "b"), ("c", "d"))
+        poly.add_bipath(bipath)
+        poly.add_bipath(Bipath(("c", "d"), ("a", "b")))  # same, flipped
+        assert len(poly.bipaths) == 1
