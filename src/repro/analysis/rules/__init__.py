@@ -17,6 +17,7 @@ from .determinism import (
 from .encapsulation import NoForeignPrivateMutationRule
 from .exports import MandatoryAllRule
 from .floats import NoFloatEqualityRule
+from .population import NoPopulationComprehensionRule
 
 __all__ = [
     "RULES",
@@ -31,4 +32,5 @@ __all__ = [
     "NoFloatEqualityRule",
     "MandatoryAllRule",
     "NoHotLoopAllocationRule",
+    "NoPopulationComprehensionRule",
 ]

@@ -22,11 +22,16 @@ Three sections:
   timed sequentially and, when ``--workers`` > 1, through the parallel
   sweep executor.  Parallel speedup is bounded by the machine's core
   count (recorded as ``cpu_count``);
-* **scaling** — client-count scaling of the per-process executor vs. the
-  slot-coalesced cohort executor (``repro-bench --sections scaling
-  --output BENCH_scaling.json``).  Each point times both executors on
-  the same seeded workload, checks their metrics are bit-identical, and
-  a cohort re-run at one point double-checks same-seed determinism.
+* **scaling** — client-count scaling (``repro-bench --sections scaling
+  --output BENCH_scaling.json``).  The standard tier times the
+  per-process executor vs. the slot-coalesced cohort executor on the
+  same seeded workload and checks their metrics are bit-identical; the
+  **mega tier** (16 384 … 1 000 000 clients) times the sharded
+  analytical tier, cross-checked against ``shards=1`` at every point
+  and against the cohort executor up to 65 536 clients.  Every point
+  records its own provenance (actual ``os.cpu_count()``, shard count,
+  effective pool workers), and a re-run at one point double-checks
+  same-seed determinism.
 
 With ``--append`` the run is added to the existing document's ``runs``
 list and a ``comparison`` block (first vs. last run: per-workload speedup
@@ -61,6 +66,8 @@ __all__ = [
     "bench_micro",
     "bench_sweeps",
     "bench_scaling",
+    "MEGA_CLIENT_COUNTS",
+    "SCALING_CLIENT_COUNTS",
     "run_bench",
     "compare_runs",
     "build_parser",
@@ -333,8 +340,23 @@ def bench_sweeps(
 # section: client-count scaling (per-process vs. cohort executor)
 # ----------------------------------------------------------------------
 
-#: client populations of the scaling sweep
+#: client populations of the standard scaling tier (process vs. cohort)
 SCALING_CLIENT_COUNTS = (8, 64, 512, 4096)
+
+#: client populations of the mega tier (sharded analytical executor);
+#: per-population transaction counts taper so the top points stay
+#: re-runnable, and shard counts grow with the population
+MEGA_CLIENT_COUNTS = (16_384, 65_536, 262_144, 1_000_000)
+_MEGA_TRANSACTIONS = {16_384: 8, 65_536: 8, 262_144: 4, 1_000_000: 2}
+_MEGA_SHARDS = {16_384: 2, 65_536: 2, 262_144: 4, 1_000_000: 4}
+
+#: above this population the mega tier drops per-transaction sample
+#: objects (``keep_samples=False``) — metrics stay array-backed only
+_SAMPLE_CAP = 262_144
+
+#: largest population where the event-driven cohort executor is cheap
+#: enough to serve as a second identity basis
+_COHORT_CROSSCHECK_CAP = 65_536
 
 #: the broadcast-bound workload the cohort executor is built for: few
 #: objects, short cycles, think times far below the cycle length — so
@@ -361,7 +383,7 @@ def _metric_signature(result: Any) -> Dict[str, Any]:
     """
     metrics = result.metrics
     return {
-        "commits": len(metrics.samples),
+        "commits": metrics.commit_count,
         "reads_delivered": metrics.reads_delivered,
         "reads_rejected": metrics.reads_rejected,
         "listening_bits": metrics.listening_bits,
@@ -382,6 +404,79 @@ def _best_of(config: SimulationConfig, trials: int) -> "tuple[float, Any]":
     return (best, result)
 
 
+def _provenance(shards: int) -> Dict[str, Any]:
+    """Per-point execution provenance: what actually ran, where.
+
+    Records the machine's real core count (not the run header's
+    ``workers`` request) and, for sharded points, the pool size
+    :func:`~repro.sim.shard.run_sharded` resolves by default — the
+    parent runs the primary shard itself, so the pool gets at most
+    ``shards - 1`` workers and at most ``cpus - 1`` cores.
+    """
+    cpus = os.cpu_count() or 1
+    return {
+        "cpu_count": cpus,
+        "shards": shards,
+        "effective_workers": (
+            min(shards - 1, max(1, cpus - 1)) if shards > 1 else 0
+        ),
+    }
+
+
+def _mega_point(
+    base: SimulationConfig, num_clients: int, transactions: int
+) -> Dict[str, Any]:
+    """One mega-tier point: sharded analytic run plus identity checks.
+
+    ``metrics_identical`` aggregates every basis in ``identity_basis``:
+    the sharded run is compared against ``shards=1`` at every point, and
+    against the event-driven cohort executor while that is affordable
+    (populations up to ``_COHORT_CROSSCHECK_CAP``).  Above
+    ``_SAMPLE_CAP`` clients the run drops per-transaction sample objects
+    (``keep_samples=False``); the signature is array-backed either way,
+    so the comparison loses nothing.
+    """
+    txns = min(_MEGA_TRANSACTIONS[num_clients], transactions)
+    shards = _MEGA_SHARDS[num_clients]
+    keep = num_clients < _SAMPLE_CAP
+    config = base.replace(
+        num_clients=num_clients,
+        num_client_transactions=txns,
+        client_executor="analytic",
+        keep_samples=keep,
+    )
+    point: Dict[str, Any] = {
+        "clients": num_clients,
+        "transactions": txns,
+        "keep_samples": keep,
+        **_provenance(shards),
+    }
+    gc.collect()
+    seconds, result = _timed(
+        lambda: run_simulation(config.replace(shards=shards))
+    )
+    sharded = _metric_signature(result)
+    point["analytic_sharded_seconds"] = round(seconds, 4)
+    point["events"] = result.events
+    point["clients_per_second"] = round(num_clients / seconds, 1)
+    gc.collect()
+    single_seconds, single = _timed(lambda: run_simulation(config))
+    point["analytic_seconds"] = round(single_seconds, 4)
+    basis = {"sharded-vs-unsharded": sharded == _metric_signature(single)}
+    if num_clients <= _COHORT_CROSSCHECK_CAP:
+        gc.collect()
+        cohort_seconds, cohort = _timed(
+            lambda: run_simulation(config.replace(client_executor="cohort"))
+        )
+        basis["cohort-vs-analytic"] = _metric_signature(cohort) == sharded
+        point["cohort_seconds"] = round(cohort_seconds, 4)
+        point["speedup"] = round(cohort_seconds / seconds, 2)
+    point["identity_basis"] = basis
+    point["metrics_identical"] = all(basis.values())
+    point["signature"] = sharded
+    return point
+
+
 def bench_scaling(
     *,
     clients: Sequence[int] = SCALING_CLIENT_COUNTS,
@@ -389,13 +484,17 @@ def bench_scaling(
     seed: int = 42,
     trials: int = 3,
     include_defaults: bool = True,
+    mega: Sequence[int] = MEGA_CLIENT_COUNTS,
 ) -> Dict[str, Any]:
-    """Time ``process`` vs. ``cohort`` executors over a client sweep.
+    """Time the executors over a client sweep, with identity verdicts.
 
-    Both executors run the *same* seeded workload at every point; their
-    metric signatures must match exactly (the cohort path is a bit-
-    identical reorganisation, not an approximation).  A cohort re-run at
-    the second point provides the same-seed determinism verdict.
+    The standard tier runs ``process`` vs. ``cohort`` on the *same*
+    seeded workload at every point; their metric signatures must match
+    exactly (the cohort path is a bit-identical reorganisation, not an
+    approximation).  A cohort re-run at the second point provides the
+    same-seed determinism verdict.  The mega tier (``mega`` populations,
+    timed once each) runs the sharded analytical executor — see
+    :func:`_mega_point` for its identity bases.
     """
     base = SimulationConfig(
         num_client_transactions=transactions, seed=seed, **_SCALING_DENSE
@@ -419,7 +518,7 @@ def bench_scaling(
     determinism_ok = True
     for position, num_clients in enumerate(clients):
         config = base.replace(num_clients=num_clients)
-        point: Dict[str, Any] = {"clients": num_clients}
+        point: Dict[str, Any] = {"clients": num_clients, **_provenance(1)}
         signatures: Dict[str, Dict[str, Any]] = {}
         for executor in ("process", "cohort"):
             seconds, result = _best_of(
@@ -443,6 +542,11 @@ def bench_scaling(
         points.append(point)
     out["points"] = points
     out["same_seed_determinism_ok"] = determinism_ok
+    if mega:
+        out["mega_points"] = [
+            _mega_point(base, num_clients, transactions)
+            for num_clients in mega
+        ]
     if include_defaults:
         # the honest counterpoint: Table 1's sparse default layout, where
         # few clients share a slot and coalescing buys much less
@@ -522,12 +626,15 @@ def run_bench(
         )
     if "scaling" in sections:
         if smoke:
+            # one sharded mega point (16384 clients, 2 shards) rides the
+            # smoke run so CI gets a metric-identity verdict per commit
             run["scaling"] = bench_scaling(
                 clients=(8, 64),
                 transactions=2,
                 seed=seed,
                 trials=1,
                 include_defaults=False,
+                mega=(16_384,),
             )
         else:
             run["scaling"] = bench_scaling(seed=seed)
@@ -690,6 +797,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"speedup {point['speedup']:.2f}x  "
                 f"identical={point['metrics_identical']}"
             )
+        for point in scaling.get("mega_points", []):
+            line = (
+                f"  scaling {point['clients']:>9,} clients  "
+                f"analytic×{point['shards']} "
+                f"{point['analytic_sharded_seconds']:>8.3f}s "
+                f"({point['clients_per_second']:>9,.0f} clients/s)  "
+            )
+            if "cohort_seconds" in point:
+                line += f"cohort {point['cohort_seconds']:>8.3f}s  "
+            line += f"identical={point['metrics_identical']}"
+            print(line)
         if "table1_defaults" in scaling:
             point = scaling["table1_defaults"]
             print(

@@ -7,6 +7,7 @@ Installed as ``repro-experiments``.  Examples::
     repro-experiments fig2 --transactions 200 --seed 7
     repro-experiments all --transactions 200 --csv results/
     repro-experiments all --workers 4   # parallel grid, identical results
+    repro-experiments fig2 --executor analytic --shards 4   # sharded run
 
 ``--transactions`` trades statistical tightness for wall-clock time; the
 paper's setting is 1000 (and takes minutes per figure in pure Python).
@@ -70,11 +71,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--executor",
-        choices=["process", "cohort"],
+        choices=["process", "cohort", "analytic"],
         default="process",
         help="client execution layer: 'cohort' coalesces same-slot clients "
-        "into one event (bit-identical results, faster at large client "
-        "populations; see docs/PERFORMANCE.md)",
+        "into one event, 'analytic' fast-forwards fault-free read-only "
+        "clients in closed form (both bit-identical to 'process', faster "
+        "at large client populations; see docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the read-only client population over N worker "
+        "processes (requires --executor cohort or analytic; results are "
+        "bit-identical to --shards 1, see docs/PERFORMANCE.md §5)",
     )
     parser.add_argument(
         "--csv",
@@ -104,10 +114,13 @@ def _run_one(
     chart: bool = False,
     workers: int = 1,
     executor: str = "process",
+    shards: int = 1,
 ) -> None:
     runner = EXPERIMENTS[name]
     start = time.time()
-    result = runner(transactions, seed=seed, workers=workers, executor=executor)
+    result = runner(
+        transactions, seed=seed, workers=workers, executor=executor, shards=shards
+    )
     elapsed = time.time() - start
     print(format_table(result))
     if chart:
@@ -304,6 +317,11 @@ def audit_main(argv: Optional[List[str]] = None) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.shards > 1 and args.executor == "process":
+        build_parser().error(
+            "--shards requires --executor cohort or analytic (the per-"
+            "process executor cannot partition the client population)"
+        )
 
     if args.experiment == "list":
         print("available experiments:")
@@ -349,6 +367,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             chart=args.chart,
             workers=args.workers,
             executor=args.executor,
+            shards=args.shards,
         )
     return 0
 

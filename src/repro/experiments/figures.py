@@ -51,16 +51,25 @@ PAPER_PROTOCOLS = ("datacycle", "r-matrix", "f-matrix", "f-matrix-no")
 
 
 def default_config(
-    transactions: int = 1000, seed: int = 42, executor: str = "process"
+    transactions: int = 1000,
+    seed: int = 42,
+    executor: str = "process",
+    shards: int = 1,
 ) -> SimulationConfig:
     """Table 1 defaults with a configurable run length.
 
-    ``executor`` selects the client execution layer ("process" or
-    "cohort"); the two are bit-identical, so figures may be reproduced
-    on either (the cohort path is faster at large client populations).
+    ``executor`` selects the client execution layer ("process",
+    "cohort" or "analytic"); all are bit-identical, so figures may be
+    reproduced on any of them (the cohort and analytic paths are faster
+    at large client populations).  ``shards`` > 1 partitions the
+    read-only population over worker processes (cohort/analytic only;
+    see docs/PERFORMANCE.md §5) — results are identical by construction.
     """
     return SimulationConfig(
-        num_client_transactions=transactions, seed=seed, client_executor=executor
+        num_client_transactions=transactions,
+        seed=seed,
+        client_executor=executor,
+        shards=shards,
     )
 
 
@@ -73,6 +82,7 @@ def fig2_client_txn_length(
     include_datacycle_tail: bool = False,
     workers: Optional[int] = None,
     executor: str = "process",
+    shards: int = 1,
 ) -> ExperimentResult:
     """Figures 2(a) and 2(b): vary client transaction length.
 
@@ -80,7 +90,7 @@ def fig2_client_txn_length(
     by default the same point is skipped (it dominates wall-clock time),
     pass ``include_datacycle_tail=True`` to measure it anyway.
     """
-    base = default_config(transactions, seed, executor)
+    base = default_config(transactions, seed, executor, shards)
 
     def skip(protocol: str, value: object) -> bool:
         return (
@@ -110,6 +120,7 @@ def fig3a_server_txn_length(
     seed: int = 42,
     workers: Optional[int] = None,
     executor: str = "process",
+    shards: int = 1,
 ) -> ExperimentResult:
     """Figure 3(a): vary server transaction length.
 
@@ -118,7 +129,7 @@ def fig3a_server_txn_length(
     control-information overhead and the paper's full F < R < Datacycle
     ordering is unambiguous.
     """
-    base = default_config(transactions, seed, executor).replace(
+    base = default_config(transactions, seed, executor, shards).replace(
         client_txn_length=client_txn_length
     )
     return run_sweep(
@@ -140,9 +151,10 @@ def fig3b_server_txn_rate(
     seed: int = 42,
     workers: Optional[int] = None,
     executor: str = "process",
+    shards: int = 1,
 ) -> ExperimentResult:
     """Figure 3(b): vary server inter-completion time (rate decreases →)."""
-    base = default_config(transactions, seed, executor)
+    base = default_config(transactions, seed, executor, shards)
     return run_sweep(
         "fig3b",
         "server inter-completion time (bit-units)",
@@ -163,12 +175,13 @@ def fig4a_num_objects(
     seed: int = 42,
     workers: Optional[int] = None,
     executor: str = "process",
+    shards: int = 1,
 ) -> ExperimentResult:
     """Figure 4(a): vary the number of database objects.
 
     ``client_txn_length`` as in :func:`fig3a_server_txn_length`.
     """
-    base = default_config(transactions, seed, executor).replace(
+    base = default_config(transactions, seed, executor, shards).replace(
         client_txn_length=client_txn_length
     )
     return run_sweep(
@@ -190,9 +203,10 @@ def fig4b_object_size(
     seed: int = 42,
     workers: Optional[int] = None,
     executor: str = "process",
+    shards: int = 1,
 ) -> ExperimentResult:
     """Figure 4(b): vary the object size (KB on the x-axis)."""
-    base = default_config(transactions, seed, executor)
+    base = default_config(transactions, seed, executor, shards)
 
     def hook(cfg: SimulationConfig, value: object) -> SimulationConfig:
         return cfg.replace(object_size_bits=int(float(value) * KILOBYTE_BITS))  # type: ignore[arg-type]
@@ -240,6 +254,7 @@ def ablation_group_matrix(
     seed: int = 42,
     workers: Optional[int] = None,
     executor: str = "process",
+    shards: int = 1,
 ) -> ExperimentResult:
     """The F-Matrix ↔ vector spectrum (Sec. 3.2.2): sweep group count.
 
@@ -249,7 +264,7 @@ def ablation_group_matrix(
     and Datacycle are the spectrum's endpoints (g = n with per-slot
     columns / g = 1 with the strict condition).
     """
-    base = default_config(transactions, seed, executor).replace(
+    base = default_config(transactions, seed, executor, shards).replace(
         client_txn_length=client_txn_length
     )
 
@@ -278,6 +293,7 @@ def ablation_caching(
     seed: int = 42,
     workers: Optional[int] = None,
     executor: str = "process",
+    shards: int = 1,
 ) -> ExperimentResult:
     """Quasi-caching under weak currency (Sec. 3.3, our quantification).
 
@@ -290,7 +306,7 @@ def ablation_caching(
     EXPERIMENTS.md.  Mutual consistency is preserved throughout (the
     trace cross-check in the test suite covers the cached path too).
     """
-    base = default_config(transactions, seed, executor).replace(
+    base = default_config(transactions, seed, executor, shards).replace(
         client_txn_length=client_txn_length,
         protocol=protocol,
         server_txn_interval=server_txn_interval,

@@ -12,7 +12,13 @@ from .metrics import (
     batch_means,
     summarize,
 )
-from .simulation import BroadcastSimulation, SimulationResult, run_simulation
+from .shard import reader_slices, run_sharded
+from .simulation import (
+    BroadcastSimulation,
+    ShardSlice,
+    SimulationResult,
+    run_simulation,
+)
 from .trace import ClientCommitRecord, TraceRecorder
 
 __all__ = [
@@ -34,6 +40,9 @@ __all__ = [
     "BroadcastSimulation",
     "SimulationResult",
     "run_simulation",
+    "ShardSlice",
+    "run_sharded",
+    "reader_slices",
     "CohortClient",
     "CohortExecutor",
     "TraceRecorder",

@@ -1,0 +1,270 @@
+"""The analytical tier: closed-form replay of fault-free read-only clients.
+
+The cohort executor (:mod:`repro.sim.cohort`) already collapses a
+client's think-time events and coalesces its slot waits, but it still
+keeps every client's transaction state resident and pays one bucket
+membership per read.  For the regimes the scaling benchmarks probe —
+10⁵–10⁶ *read-only* clients over one shared broadcast — even that is
+more machinery than the physics requires, because a fault-free read-only
+client **never influences anything**: not the server, not the broadcast,
+not any other client.  Its entire trajectory is a deterministic function
+of (a) its private seeded streams and (b) the broadcast image sequence.
+
+So the tier splits the run in two:
+
+* **Phase A — the timeline.**  One ordinary event simulation hosts the
+  cycle process, the server process, and (when the config bounds the
+  update population via ``num_update_clients``) the update-capable
+  clients under the cohort executor.  Every installed broadcast image is
+  retained by cycle number (``SharedState.record_images``).  The event
+  sequence this produces is bit-identical to the unsharded run's,
+  because read-only clients never perturb it — the oracle equivalence
+  tests assert exactly that.
+
+* **Phase B — the replay.**  Each read-only client is fast-forwarded by
+  a straight-line loop mirroring
+  :func:`repro.sim.processes.client_process` (and its ``_attempt``)
+  statement for statement: the same RNG draws in the same order, the
+  same inlined flat-layout slot arithmetic the cohort executor uses, the
+  same cache/validator interactions — but with a plain float ``t``
+  instead of simulator events.  When a replay reads past the timeline's
+  horizon, the timeline lazily extends itself (``sim.run(until=...)``)
+  to manufacture the missing cycles.  Transient state is O(1) per
+  client: workload, RNG, validator and cache are built on demand and
+  dropped when the client finishes.
+
+The tier refuses fault plans (a dozing or crash-affected client's
+trajectory is not closed-form replayable — config validation enforces
+this) and trace collection (nothing event-driven happens for readers).
+Memory is O(cycles simulated) for the retained images plus O(commits)
+for metrics — independent of the client count when ``keep_samples`` is
+off.
+"""
+
+from __future__ import annotations
+
+from math import log as _log
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..broadcast.layout import FlatLayout
+from ..broadcast.program import BroadcastCycle
+from ..client.runtime import ReadOnlyTransactionRuntime
+from .cohort import CohortClient, CohortExecutor
+from .engine import Simulator
+
+if TYPE_CHECKING:
+    from .simulation import BroadcastSimulation
+
+__all__ = ["run_analytic"]
+
+
+class _Timeline:
+    """Lazily-extended broadcast history backing the replays.
+
+    ``broadcast(cycle)`` returns the image the event simulation
+    installed for that cycle, running the simulation forward to the
+    cycle's start instant first if it hasn't got there yet.  Every
+    image ever installed stays addressable (replayed clients each start
+    from t = 0, so early cycles are re-read arbitrarily late).
+    """
+
+    __slots__ = ("_sim", "_images", "_cycle_bits", "_max_events")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        images: Dict[int, BroadcastCycle],
+        cycle_bits: float,
+        max_events: Optional[int],
+    ) -> None:
+        self._sim = sim
+        self._images = images
+        self._cycle_bits = cycle_bits
+        self._max_events = max_events
+
+    def broadcast(self, cycle: int) -> BroadcastCycle:
+        image = self._images.get(cycle)
+        if image is not None:
+            return image
+        # cycle c's image is installed by the boundary event at its start
+        # instant; run(until=) processes events at that instant inclusive
+        target = (cycle - 1) * self._cycle_bits
+        if target >= self._sim.now:
+            self._sim.run(until=target, max_events=self._max_events)
+        return self._images[cycle]
+
+
+def run_analytic(
+    simulation: "BroadcastSimulation", *, max_events: Optional[int] = None
+) -> Tuple[float, int]:
+    """Run ``simulation`` through the analytical tier.
+
+    Returns ``(sim_time, events)``: the instant the last client finished
+    (bit-identical to the event-driven run's stop time) and the number
+    of *timeline* events processed — replayed readers, by construction,
+    cost none.
+    """
+    config = simulation.config
+    if simulation.trace is not None:
+        raise ValueError("the analytical tier records no trace")
+    state = simulation.state
+    state.record_images = {}
+    sim = simulation.sim
+    sl = simulation.slice
+    simulation.spawn_timeline()
+
+    # Phase A: drive the shared timeline until every update-capable
+    # client (simulated event-driven, under the cohort executor) is done.
+    # Their same-time interleaving with reader events in the oracle run
+    # is unobservable — readers mutate nothing — so this sub-simulation's
+    # event sequence, and hence the image history, is bit-identical.
+    updaters = sl.updaters
+    if updaters > 0:
+        cohort = [
+            CohortClient(
+                k,
+                simulation.workload_for(k),
+                simulation.validator_for(k),
+                simulation.rng_for(k),
+                simulation.cache_for(k),
+            )
+            for k in range(updaters)
+        ]
+        CohortExecutor(
+            sim=sim,
+            config=config,
+            layout=simulation.layout,
+            state=state,
+            server=simulation.server,
+            metrics=simulation._timeline_metrics,
+            clients=cohort,
+            trace=None,
+        ).start()
+        sim.run(
+            stop_when=lambda: state.clients_done >= updaters,
+            max_events=max_events,
+        )
+    sim_time = sim.now
+
+    # Phase B: fast-forward each read-only client against the timeline.
+    timeline = _Timeline(
+        sim, state.record_images, simulation.layout.cycle_bits, max_events
+    )
+    for k in range(sl.reader_lo, sl.reader_hi):
+        done = _replay_reader(simulation, timeline, k)
+        if done > sim_time:
+            sim_time = done
+    # the event-driven run keeps processing timeline events until the
+    # last client's done instant — mirror that, so server-side tallies
+    # (completions, commits) cover the same simulated span exactly
+    if sim_time > sim.now:
+        sim.run(until=sim_time, max_events=max_events)
+    return sim_time, sim.events_processed
+
+
+def _replay_reader(
+    simulation: "BroadcastSimulation", timeline: _Timeline, k: int
+) -> float:
+    """Fast-forward read-only client ``k``; returns its finish time.
+
+    A line-for-line mirror of ``client_process``/``_attempt`` for the
+    fault-free read-only case: every RNG draw, cache probe, slot seek
+    and validator call happens in the same order with the same
+    arguments, so commits, restarts, response times and listening bits
+    are bit-identical to the event-driven paths.
+    """
+    config = simulation.config
+    metrics = simulation.metrics
+    layout = simulation.layout
+    workload = simulation.workload_for(k)
+    validator = simulation.validator_for(k)
+    rng = simulation.rng_for(k)
+    cache = simulation.cache_for(k)
+    random_ = rng.random
+    op_lambd = 1.0 / config.mean_inter_operation_delay
+    txn_lambd = 1.0 / config.mean_inter_transaction_delay
+    loss = config.broadcast_loss_probability
+    restart_delay = config.restart_delay
+    delay_first = config.delay_before_first_operation
+    slot_bits = layout.slot_bits  # type: ignore[attr-defined]
+    if isinstance(layout, FlatLayout):
+        offsets: Optional[list] = [
+            layout.slot_end_offset(obj) for obj in range(layout.num_objects)
+        ]
+        cycle_bits = layout.cycle_bits
+    else:
+        offsets = None
+        cycle_bits = layout.cycle_bits
+
+    t = 0.0
+    for _txn_index in range(config.num_client_transactions):
+        tid, objects = workload.next_transaction()
+        tid = f"cl{k}.{tid}"
+        runtime = ReadOnlyTransactionRuntime(tid, objects, validator)
+        submit_time = t
+        restarts = 0
+        while True:  # attempts
+            first = True
+            committed = True
+            while not runtime.is_done:
+                if not first or delay_first:
+                    t -= _log(1.0 - random_()) / op_lambd
+                first = False
+                obj = runtime.next_object
+                assert obj is not None
+                broadcast: Optional[BroadcastCycle] = None
+                if cache is not None:
+                    entry = cache.lookup(obj, t)
+                    if entry is not None:
+                        broadcast = entry.as_broadcast()
+                        metrics.cache_hits += 1
+                if broadcast is None:
+                    while True:
+                        if offsets is not None:
+                            # FlatLayout.next_read, inlined (as in cohort)
+                            cycle = int(t // cycle_bits) + 1
+                            end = (cycle - 1) * cycle_bits + offsets[obj]
+                            if cycle > 1 and end - cycle_bits >= t:
+                                cycle -= 1
+                                end -= cycle_bits
+                            elif end < t:
+                                cycle += 1
+                                end += cycle_bits
+                        else:
+                            hit = layout.next_read(obj, t)
+                            end, cycle = hit.time, hit.cycle
+                        t = end
+                        if loss > 0.0 and random_() < loss:
+                            # the slot went by unheard: 1-bit re-tune,
+                            # then the object's next appearance
+                            metrics.broadcast_losses += 1
+                            t = end + 1.0
+                            continue
+                        break
+                    broadcast = timeline.broadcast(cycle)
+                    metrics.listening_bits += slot_bits
+                    if cache is not None:
+                        cache.insert(broadcast, obj, t)
+                outcome = runtime.deliver(broadcast)
+                if outcome.ok:
+                    metrics.reads_delivered += 1
+                else:
+                    metrics.reads_rejected += 1
+                    metrics.record_abort(
+                        "staleness" if outcome.stale else "conflict"
+                    )
+                    if cache is not None:
+                        cache.evict(outcome.obj)
+                        for read_obj, _cycle in runtime.reads:
+                            cache.evict(read_obj)
+                    committed = False
+                    break
+            if committed:
+                runtime.commit()
+                break
+            restarts += 1
+            runtime.restart()
+            t += restart_delay
+        metrics.record_commit(tid, submit_time, t, restarts)
+        t -= _log(1.0 - random_()) / txn_lambd
+    return t

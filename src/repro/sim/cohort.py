@@ -38,14 +38,24 @@ the values are bit-identical to the per-process path's.  Oracle tests
 assert bit-identical commits, restarts, response times and listening bits
 against the per-process path on randomized configs.
 
-Update transactions keep the per-process path: when a client's next
-transaction draws as an update (``client_update_fraction > 0``), the
-client leaves the cohort and runs that transaction as a real simulator
-process (reusing the exact :func:`repro.sim.processes._attempt` /
-``_submit_update`` code), rejoining the cohort at its next read-only
-transaction.  The two populations compose deterministically because
-per-client RNG streams are independent and all cross-client state a read
-consults (the frozen cycle snapshots) is installed at cycle boundaries.
+Update transactions are coalesced too: an update's read phase rides the
+same slot calendar as everyone else's, and its uplink round-trip becomes
+a chain of scheduled arrival callbacks — the submission reaches the
+server (a real event, where loss draws and the server's backward
+validation happen) exactly when the per-process ``_submit_update``
+generator would have resumed, and the verdict's consequences are
+computed inline (they touch only client-private state).  Uplink-loss
+Bernoullis come from per-client :mod:`numpy` streams spawned via
+``SeedSequence((seed, client))`` — both executors consume the same
+per-client sequence, so faulty runs too are executor- and
+shard-layout-independent.
+
+Fault plans (docs/FAULTS.md) run inside the batched path as of PR 7:
+doze intervals shift a member's seek time exactly like the per-process
+``doze_wake`` wait, crash dead-air and doze slot misses are checked per
+member at slot-fire time (``slot_heard``), and runs under a modulo
+staleness guard take a scalar ``runtime.deliver`` lane (the guard
+consults per-runtime rejoin state that batch validation cannot see).
 """
 
 from __future__ import annotations
@@ -56,6 +66,7 @@ from math import log as _log
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..broadcast.layout import BroadcastLayout, FlatLayout
+from ..broadcast.program import BroadcastCycle
 from ..client.cache import QuasiCache
 from ..client.runtime import ClientUpdateTransactionRuntime, ReadOnlyTransactionRuntime
 from ..core.validators import (
@@ -65,9 +76,9 @@ from ..core.validators import (
 )
 from ..server.server import BroadcastServer
 from .config import SimulationConfig
-from .engine import Simulator, Timeout, WaitUntil
+from .engine import Simulator
 from .metrics import MetricsCollector
-from .processes import SharedState, SimEvents, _attempt, _submit_update
+from .processes import SharedState
 from .trace import TraceRecorder
 
 __all__ = ["CohortClient", "CohortExecutor"]
@@ -87,6 +98,9 @@ class CohortClient:
         "txn_len",
         "submit_time",
         "restarts",
+        "is_update",
+        "write_objs",
+        "uplink_retries",
     )
 
     def __init__(
@@ -107,6 +121,9 @@ class CohortClient:
         self.txn_len = 0
         self.submit_time = 0.0
         self.restarts = 0
+        self.is_update = False
+        self.write_objs: List[int] = []
+        self.uplink_retries = 0
 
 
 class _Bucket:
@@ -138,11 +155,6 @@ class CohortExecutor:
         clients: Sequence[CohortClient],
         trace: Optional[TraceRecorder] = None,
     ) -> None:
-        if state.faults is not None:
-            raise ValueError(
-                "CohortExecutor cannot run with fault injection enabled; "
-                "use client_executor='process' for faulty runs"
-            )
         self.sim = sim
         self.config = config
         self.layout = layout
@@ -151,6 +163,13 @@ class CohortExecutor:
         self.metrics = metrics
         self.trace = trace
         self.clients = list(clients)
+        self.faults = state.faults
+        #: the paper's max-cycles rejoin bound, active under modulo
+        #: timestamps with faults — forces the scalar deliver lane
+        self._staleness = (
+            self.faults.staleness_window if self.faults is not None else None
+        )
+        self._half_rtt = config.uplink_round_trip / 2.0
         self._buckets: Dict[float, _Bucket] = {}
         #: (time, fire-callback) pairs not yet pushed — flushed in one
         #: schedule_many call per entry point to cut heapq churn
@@ -178,6 +197,7 @@ class CohortExecutor:
         self._batch_validate = validate_read_batch
         if (
             all(c.cache is None for c in self.clients)
+            # rep: allow-client-loop — one startup scan, not a hot path
             and len({c.validator.__class__ for c in self.clients}) == 1
             and all(c.validator._vectorisable for c in self.clients)
         ):
@@ -194,11 +214,8 @@ class CohortExecutor:
                 self.state.clients_done += 1
                 continue
             tid, objects = self._draw_transaction(client)
-            if self._draw_is_update(client):
-                self._spawn_update(client, 0.0, tid, objects)
-            else:
-                self._begin_read_only(client, 0.0, tid, objects)
-                self._advance(client, 0.0, first=True)
+            self._begin_txn(client, 0.0, tid, objects)
+            self._advance(client, 0.0, first=True)
         self._flush_schedules()
 
     # ------------------------------------------------------------------
@@ -209,55 +226,81 @@ class CohortExecutor:
         return f"cl{client.client_id}.{tid}", objects
 
     def _draw_is_update(self, client: CohortClient) -> bool:
-        # mirrors client_process: the fraction gate short-circuits, so no
-        # RNG draw happens when update transactions are disabled
+        # mirrors client_process: both gates short-circuit, so no RNG
+        # draw happens for disabled or non-update-capable clients
         return (
             self.config.client_update_fraction > 0.0
+            and self.config.update_capable(client.client_id)
             and client.rng.random() < self.config.client_update_fraction
         )
 
-    def _begin_read_only(
+    def _begin_txn(
         self,
         client: CohortClient,
         submit_time: float,
         tid: str,
         objects: Sequence[int],
     ) -> None:
-        client.runtime = ReadOnlyTransactionRuntime(tid, objects, client.validator)
+        """Install the client's next transaction (read-only or update).
+
+        The update draw consumes the same client-RNG value at the same
+        point as ``client_process``; an update's read phase then rides
+        the slot calendar like any other — only its completion diverges
+        (into the uplink chain instead of an immediate commit record).
+        """
+        if self._draw_is_update(client):
+            client.runtime = ClientUpdateTransactionRuntime(
+                tid, objects, client.validator, staleness_window=self._staleness
+            )
+            num_writes = max(
+                1, round(len(objects) * self.config.client_update_write_fraction)
+            )
+            client.write_objs = list(objects[:num_writes])
+            client.is_update = True
+        else:
+            client.runtime = ReadOnlyTransactionRuntime(
+                tid, objects, client.validator, staleness_window=self._staleness
+            )
+            client.is_update = False
         client.txn_len = len(client.runtime.objects)
         client.submit_time = submit_time
         client.restarts = 0
 
-    def _spawn_update(
-        self,
-        client: CohortClient,
-        start_time: float,
-        tid: str,
-        objects: Sequence[int],
-    ) -> None:
-        self.sim.spawn(
-            self._update_loop(client, start_time, tid, objects),
-            name=f"client-{client.client_id}-update",
-        )
-
-    def _commit_and_continue(
-        self, client: CohortClient, commit_time: float
+    def _complete_read_phase(
+        self, client: CohortClient, at_time: float
     ) -> Optional[float]:
-        """Commit the pending transaction; set up the next one.
+        """All reads validated at ``at_time``.
 
-        Returns the next read-only transaction's start time, or ``None``
-        when the client finished, or handed off to an update process.
+        Read-only transactions commit on the spot; updates buffer their
+        writes and enter the uplink chain.  Returns the next
+        transaction's start time, or ``None`` when the client left the
+        calendar (finished, or awaiting an uplink verdict).
         """
         runtime = client.runtime
         assert runtime is not None
         runtime.commit()
+        if client.is_update:
+            self._begin_uplink(client, at_time)
+            return None
+        return self._finish_txn(client, at_time)
+
+    def _finish_txn(self, client: CohortClient, commit_time: float) -> Optional[float]:
+        """Record a commit; draw the inter-txn delay; set up what's next.
+
+        Returns the next transaction's start time, or ``None`` when the
+        client has no transactions left.
+        """
+        runtime = client.runtime
+        assert runtime is not None
         self.metrics.record_commit(
             runtime.tid, client.submit_time, commit_time, client.restarts
         )
         if self.trace is not None:
-            self.trace.record_client_commit(
-                runtime.tid, runtime.versions, runtime.reads
-            )
+            self.trace.record_session_commit(client.client_id, runtime.tid)
+            if not client.is_update:
+                self.trace.record_client_commit(
+                    runtime.tid, runtime.versions, runtime.reads
+                )
         delay = -_log(1.0 - client.rng.random()) / self._txn_lambd
         start_time = commit_time + delay
         client.txn_index += 1
@@ -268,10 +311,7 @@ class CohortExecutor:
             self.sim.schedule(start_time, partial(self._client_done, client))
             return None
         tid, objects = self._draw_transaction(client)
-        if self._draw_is_update(client):
-            self._spawn_update(client, start_time, tid, objects)
-            return None
-        self._begin_read_only(client, start_time, tid, objects)
+        self._begin_txn(client, start_time, tid, objects)
         return start_time
 
     def _client_done(self, client: CohortClient) -> None:
@@ -313,7 +353,7 @@ class CohortExecutor:
             if outcome.ok:
                 metrics.reads_delivered += 1
                 if runtime.is_done:
-                    start_time = self._commit_and_continue(client, issue)
+                    start_time = self._complete_read_phase(client, issue)
                     if start_time is None:
                         return
                     now, first = start_time, True
@@ -321,7 +361,7 @@ class CohortExecutor:
                     now, first = issue, False
             else:
                 metrics.reads_rejected += 1
-                metrics.aborts_conflict += 1
+                metrics.record_abort("staleness" if outcome.stale else "conflict")
                 assert cache is not None
                 cache.evict(outcome.obj)
                 for read_obj, _cycle in runtime.reads:
@@ -334,6 +374,15 @@ class CohortExecutor:
     # the slot calendar
     # ------------------------------------------------------------------
     def _seek_slot(self, client: CohortClient, obj: int, issue: float) -> None:
+        faults = self.faults
+        if faults is not None:
+            # the per-process path checks the (static) doze schedule at
+            # seek time and fast-forwards to the rejoin; the member's
+            # issue time becomes the wake — the instant its per-process
+            # WaitUntil(hit.time) would have been pushed
+            wake = faults.doze_wake(client.client_id, issue)
+            if wake is not None:
+                issue = wake
         offsets = self._flat_offsets
         if offsets is not None:
             # FlatLayout.next_read, inlined (pure arithmetic, no SlotHit)
@@ -373,12 +422,28 @@ class CohortExecutor:
         metrics = self.metrics
         obj = bucket.obj
 
-        # phase 1 — radio loss: each lost client retries the object's
-        # next appearance (drawn per client, in issue order, exactly as
-        # the per-process loop would at its own slot event)
+        # phase 1 — faults and radio loss: each missed slot re-seeks the
+        # object's next appearance (checked per client, in issue order,
+        # exactly as the per-process loop would at its own slot event:
+        # doze/dead-air first, then the loss draw — an unheard slot
+        # consumes no loss randomness)
         loss = config.broadcast_loss_probability
-        if loss > 0.0:
+        faults = self.faults
+        if faults is not None:
+            slot_start = time - self._slot_bits
             survivors: List[CohortClient] = []
+            for _issue, _order, client in members:
+                if not faults.slot_heard(
+                    client.client_id, slot_start, time, metrics
+                ):
+                    self._seek_slot(client, obj, time + 1.0)
+                elif loss > 0.0 and client.rng.random() < loss:
+                    metrics.broadcast_losses += 1
+                    self._seek_slot(client, obj, time + 1.0)
+                else:
+                    survivors.append(client)
+        elif loss > 0.0:
+            survivors = []
             for _issue, _order, client in members:
                 if client.rng.random() < loss:
                     metrics.broadcast_losses += 1
@@ -386,16 +451,26 @@ class CohortExecutor:
                 else:
                     survivors.append(client)
         else:
+            # rep: allow-client-loop — one bucket's members, not the population
             survivors = [member[2] for member in members]
         if not survivors:
             self._flush_schedules()
             return
 
-        # phase 2 — one batched read-condition evaluation for the bucket
         broadcast = self.state.broadcast_for(bucket.cycle)
+        if self._staleness is not None:
+            # modulo staleness guard active: the wrap check consults
+            # per-runtime rejoin state (last-heard cycle) that batch
+            # validation cannot see — take the per-process deliver path
+            # member by member, still one simulator event per slot
+            self._apply_scalar(survivors, obj, time, broadcast)
+            return
+
+        # phase 2 — one batched read-condition evaluation for the bucket
         snapshot = broadcast.snapshot
         if len(survivors) > 1:
             ok_list = self._batch_validate(
+                # rep: allow-client-loop — one bucket's survivors
                 [client.validator for client in survivors], obj, snapshot
             )
         else:
@@ -410,7 +485,7 @@ class CohortExecutor:
         # wall-clock millisecond, is the dominant remaining cost.  The
         # oracle equivalence tests exercise both lanes.
         offsets = self._flat_offsets
-        fast = self.trace is None and offsets is not None
+        fast = self.trace is None and offsets is not None and faults is None
         buckets = self._buckets
         new_buckets = self._new_buckets
         cycle_bits = self._cycle_bits
@@ -426,7 +501,7 @@ class CohortExecutor:
                     delivered += 1
                     index = runtime.apply_read_ok_untraced()
                     if index >= client.txn_len:
-                        start_time = self._commit_and_continue(client, time)
+                        start_time = self._complete_read_phase(client, time)
                         if start_time is None:
                             continue
                         issue = start_time
@@ -473,7 +548,7 @@ class CohortExecutor:
                     runtime.apply_read_ok(broadcast)
                 delivered += 1
                 if runtime.is_done:
-                    start_time = self._commit_and_continue(client, time)
+                    start_time = self._complete_read_phase(client, time)
                     if start_time is not None:
                         self._advance(client, start_time, first=True)
                 else:
@@ -494,76 +569,135 @@ class CohortExecutor:
         self._flush_schedules()
 
     # ------------------------------------------------------------------
-    # update transactions: the per-process escape hatch
+    # the scalar lane: modulo staleness guard active
     # ------------------------------------------------------------------
-    def _update_loop(
+    def _apply_scalar(
         self,
-        client: CohortClient,
-        start_time: float,
-        tid: str,
-        objects: Sequence[int],
-    ) -> "SimEvents":
-        """Run consecutive *update* transactions as a real process.
+        survivors: List[CohortClient],
+        obj: int,
+        time: float,
+        broadcast: BroadcastCycle,
+    ) -> None:
+        """Per-member deliver for buckets under a staleness window.
 
-        Reuses the exact per-process attempt/submit code so uplink
-        timing, server-side validation and restart behaviour stay
-        bit-identical; hands the client back to the cohort as soon as a
-        read-only transaction is drawn.
+        Mirrors ``_attempt``'s post-slot body statement for statement:
+        cache insert, ``runtime.deliver`` (which updates the rejoin
+        bookkeeping and may fire the wrap guard), cause-attributed abort
+        and eviction, restart or continuation.
+        """
+        config = self.config
+        metrics = self.metrics
+        restart_delay = config.restart_delay
+        for client in survivors:
+            runtime = client.runtime
+            assert runtime is not None
+            cache = client.cache
+            if cache is not None:
+                cache.insert(broadcast, obj, time)
+            outcome = runtime.deliver(broadcast)
+            if outcome.ok:
+                metrics.reads_delivered += 1
+                if runtime.is_done:
+                    start_time = self._complete_read_phase(client, time)
+                    if start_time is not None:
+                        self._advance(client, start_time, first=True)
+                else:
+                    self._advance(client, time, first=False)
+            else:
+                metrics.reads_rejected += 1
+                metrics.record_abort("staleness" if outcome.stale else "conflict")
+                if cache is not None:
+                    cache.evict(outcome.obj)
+                    for read_obj, _cycle in runtime.reads:
+                        cache.evict(read_obj)
+                client.restarts += 1
+                runtime.restart()
+                self._advance(client, time + restart_delay, first=True)
+        metrics.listening_bits += self._slot_bits * len(survivors)
+        self._flush_schedules()
+
+    # ------------------------------------------------------------------
+    # update transactions: the coalesced uplink chain
+    # ------------------------------------------------------------------
+    def _begin_uplink(self, client: CohortClient, read_done_time: float) -> None:
+        """Buffer the writes and ship the submission up the uplink.
+
+        Mirrors ``_submit_update``'s entry: writes are stamped
+        ``tid#attempt`` per attempt, then the submission travels for
+        half a round trip — its arrival is the next real event this
+        client owns.
+        """
+        runtime = client.runtime
+        assert isinstance(runtime, ClientUpdateTransactionRuntime)
+        for write_obj in client.write_objs:
+            runtime.write(write_obj, f"{runtime.tid}#{runtime.attempt}")
+        client.uplink_retries = 0
+        self.sim.schedule(
+            read_done_time + self._half_rtt, partial(self._uplink_arrival, client)
+        )
+
+    def _uplink_arrival(self, client: CohortClient) -> None:
+        """The submission reaches the server — or doesn't.
+
+        This is the per-process ``_submit_update`` loop's post-transit
+        event, as a scheduled callback: fault outcomes (dead server,
+        in-transit loss from the client's own numpy stream) are decided
+        at the arrival instant, the server's backward validation runs
+        here, and the verdict's client-side consequences — known
+        immediately, since they touch only private state — are computed
+        inline at ``arrival + half_rtt``.
         """
         sim = self.sim
-        config = self.config
-        yield WaitUntil(start_time)
-        while True:
-            runtime = ClientUpdateTransactionRuntime(  # rep: allow-alloc — per txn
-                tid, objects, client.validator
-            )
-            client.runtime = runtime
-            num_writes = max(
-                1, round(len(objects) * config.client_update_write_fraction)
-            )
-            write_objs = list(objects[:num_writes])
-            submit_time = sim.now
-            restarts = 0
-            while True:  # attempts
-                committed = yield from _attempt(
-                    sim,
-                    config,
-                    runtime,
-                    self.layout,
-                    self.state,
-                    self.metrics,
-                    client.rng,
-                    client.cache,
-                    client_id=client.client_id,
+        now = sim.now
+        metrics = self.metrics
+        runtime = client.runtime
+        assert isinstance(runtime, ClientUpdateTransactionRuntime)
+        faults = self.faults
+        if faults is not None:
+            plan = faults.plan
+            if faults.server_down:
+                # the submission reaches a dead uplink: no verdict ever
+                metrics.uplink_crash_losses += 1
+                cause: Optional[str] = "crash"
+            elif plan.uplink_loss_probability > 0.0 and faults.uplink_lost(
+                client.client_id
+            ):
+                metrics.uplink_losses += 1
+                cause = "uplink"
+            else:
+                cause = None
+            if cause is not None:
+                if client.uplink_retries >= plan.uplink_max_retries:
+                    metrics.record_abort(cause)
+                    self._restart_attempt(client, now)
+                    return
+                # wait out the verdict timeout, back off, resubmit
+                delay = plan.uplink_timeout * plan.uplink_backoff**client.uplink_retries
+                client.uplink_retries += 1
+                metrics.uplink_retries += 1
+                sim.schedule(
+                    now + delay + self._half_rtt,
+                    partial(self._uplink_arrival, client),
                 )
-                if committed:
-                    committed = yield from _submit_update(
-                        sim,
-                        config,
-                        runtime,
-                        write_objs,
-                        self.server,
-                        self.metrics,
-                        state=self.state,
-                        rng=client.rng,
-                    )
-                if committed:
-                    break
-                restarts += 1
-                runtime.restart()
-                if config.restart_delay > 0:
-                    yield Timeout(config.restart_delay)  # rep: allow-alloc
-            self.metrics.record_commit(tid, submit_time, sim.now, restarts)
-            yield Timeout(  # rep: allow-alloc
-                client.rng.expovariate(1.0 / config.mean_inter_transaction_delay)
-            )
-            client.txn_index += 1
-            if client.txn_index >= config.num_client_transactions:
-                self.state.clients_done += 1
                 return
-            tid, objects = self._draw_transaction(client)
-            if not self._draw_is_update(client):
-                self._begin_read_only(client, sim.now, tid, objects)
-                self._advance(client, sim.now, first=True)
-                self._flush_schedules()
-                return
+        outcome = self.server.submit_client_update(runtime.submission())
+        verdict_time = now + self._half_rtt
+        if outcome.committed:
+            metrics.client_updates_committed += 1
+            start_time = self._finish_txn(client, verdict_time)
+            if start_time is not None:
+                self._advance(client, start_time, first=True)
+        else:
+            metrics.client_updates_rejected += 1
+            metrics.record_abort("conflict")
+            self._restart_attempt(client, verdict_time)
+        self._flush_schedules()
+
+    def _restart_attempt(self, client: CohortClient, at_time: float) -> None:
+        """A failed update attempt restarts its read phase from scratch."""
+        client.restarts += 1
+        runtime = client.runtime
+        assert runtime is not None
+        runtime.restart()
+        self._advance(client, at_time + self.config.restart_delay, first=True)
+        self._flush_schedules()

@@ -60,9 +60,23 @@ class SimulationConfig:
     num_clients: int = 1
     seed: int = 42
     #: "process" — one simulator process per client (the oracle path);
-    #: "cohort" — slot-coalesced batched execution for large read-only
-    #: populations (bit-identical results, far fewer kernel events)
+    #: "cohort" — slot-coalesced batched execution for large populations
+    #: (bit-identical results, far fewer kernel events);
+    #: "analytic" — fast-forward fault-free read-only clients in closed
+    #: form against a lazily-extended broadcast timeline (bit-identical
+    #: to the oracle; O(1) transient state per client)
     client_executor: str = "process"
+    #: partition the read-only population over N sharded simulations
+    #: (docs/PERFORMANCE.md §5); 1 = single in-process run
+    shards: int = 1
+    #: only clients with id < N ever draw update transactions; None means
+    #: every client may (the pre-existing behaviour).  Sharded or analytic
+    #: runs with updates require an explicit bound so the read-only
+    #: population is well defined.
+    num_update_clients: Optional[int] = None
+    #: retain per-transaction sample objects after the run (switch off
+    #: for 10⁶-client runs; the array accumulators remain either way)
+    keep_samples: bool = True
 
     # -- modelling choices (documented in DESIGN.md) ----------------------
     #: "exponential" (default) or "deterministic" server completion gaps
@@ -133,8 +147,16 @@ class SimulationConfig:
             raise ValueError("unknown server_interval_distribution")
         if self.num_clients < 1:
             raise ValueError("num_clients must be >= 1")
-        if self.client_executor not in ("process", "cohort"):
-            raise ValueError("client_executor must be 'process' or 'cohort'")
+        if self.client_executor not in ("process", "cohort", "analytic"):
+            raise ValueError(
+                "client_executor must be 'process', 'cohort' or 'analytic'"
+            )
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.num_update_clients is not None and not (
+            0 <= self.num_update_clients <= self.num_clients
+        ):
+            raise ValueError("num_update_clients must be in [0, num_clients]")
         if not 0.0 <= self.client_update_fraction <= 1.0:
             raise ValueError("client_update_fraction must be in [0, 1]")
         if not 0.0 < self.client_update_write_fraction <= 1.0:
@@ -182,11 +204,42 @@ class SimulationConfig:
                     f"{self.faults.max_doze_client} but the run has only "
                     f"{self.num_clients} client(s)"
                 )
-            if self.client_executor == "cohort" and not self.faults.is_noop:
+            if self.client_executor == "analytic" and not self.faults.is_noop:
                 raise ValueError(
-                    "the cohort executor does not support fault injection "
-                    "(doze/crash/uplink loss); use client_executor='process' "
-                    "or a no-op FaultPlan"
+                    "the analytical tier does not support fault injection "
+                    "(doze/crash/uplink loss): faulty trajectories are not "
+                    "closed-form replayable; use client_executor='process' "
+                    "or 'cohort' (both simulate faults bit-identically)"
+                )
+        if self.client_executor == "analytic":
+            if self.audit:
+                raise ValueError(
+                    "audit runs replay a recorded trace; the analytical "
+                    "tier records none — use 'process' or 'cohort'"
+                )
+            if self.client_update_fraction > 0.0 and self.num_update_clients is None:
+                raise ValueError(
+                    "the analytical tier fast-forwards read-only clients; "
+                    "with client_update_fraction > 0 set num_update_clients "
+                    "so the update population is bounded (those clients run "
+                    "event-driven under the cohort executor)"
+                )
+        if self.shards > 1:
+            if self.client_executor == "process":
+                raise ValueError(
+                    "sharded runs require the 'cohort' or 'analytic' "
+                    "executor (the per-process oracle is single-shard)"
+                )
+            if self.client_update_fraction > 0.0 and self.num_update_clients is None:
+                raise ValueError(
+                    "sharded runs with client_update_fraction > 0 require "
+                    "num_update_clients: only the read-only population is "
+                    "partitioned across shards"
+                )
+            if self.audit:
+                raise ValueError(
+                    "audit runs record a global trace and cannot be sharded; "
+                    "use shards=1"
                 )
 
     # ----------------------------------------------------------------
@@ -209,6 +262,24 @@ class SimulationConfig:
         return digest.hexdigest()[:12]
 
     # -- derived quantities -------------------------------------------
+    def update_capable_clients(self) -> int:
+        """Clients ``[0, n)`` that may draw update transactions.
+
+        Clients at or beyond this index never consult the update-fraction
+        gate (no RNG draw), which is what makes the read-only population
+        partitionable across shards and replayable by the analytical
+        tier without perturbing anyone's random stream.
+        """
+        if self.client_update_fraction <= 0.0:
+            return 0
+        if self.num_update_clients is None:
+            return self.num_clients
+        return self.num_update_clients
+
+    def update_capable(self, client_id: int) -> bool:
+        """May this client draw update transactions?"""
+        return client_id < self.update_capable_clients()
+
     def arithmetic(self) -> CycleArithmetic:
         if self.modulo_timestamps:
             return ModuloCycles(self.timestamp_bits)

@@ -44,6 +44,8 @@ from typing import (
     Union,
 )
 
+import numpy as np
+
 from ..core.cycles import CycleArithmetic, ModuloCycles
 from ..server.recovery import recover_server
 from .engine import Simulator, Timeout, WaitUntil
@@ -243,9 +245,13 @@ class FaultRuntime:
         plan: FaultPlan,
         arithmetic: CycleArithmetic,
         metrics: "MetricsCollector",
+        seed: int = 0,
     ) -> None:
         self.plan = plan
         self.metrics = metrics
+        #: root of the per-client uplink-loss stream tree (config seed)
+        self._seed = seed
+        self._uplink_streams: Dict[int, np.random.Generator] = {}
         #: True between a crash and the completed recovery
         self.server_down = False
         self._outage_start: Optional[float] = None
@@ -287,26 +293,51 @@ class FaultRuntime:
                 return interval.end
         return None
 
-    def slot_heard(self, client: int, start: float, end: float) -> bool:
+    def slot_heard(
+        self,
+        client: int,
+        start: float,
+        end: float,
+        metrics: Optional["MetricsCollector"] = None,
+    ) -> bool:
         """Was the broadcast slot ``[start, end]`` fully received?
 
         A slot overlapping a server outage carried dead air; a slot
         overlapping one of the client's doze intervals found the radio
         off.  Either way the read re-tunes at the object's next
-        appearance.  Each miss is charged to its cause.
+        appearance.  Each miss is charged to its cause — into
+        ``metrics`` when given (shards route a client's misses to the
+        collector that measures that client), else the run collector.
         """
+        if metrics is None:
+            metrics = self.metrics
         if self._outage_start is not None and end > self._outage_start:
-            self.metrics.crash_slot_stalls += 1
+            metrics.crash_slot_stalls += 1
             return False
         for outage_start, outage_end in self._outages:
             if outage_start < end and start < outage_end:
-                self.metrics.crash_slot_stalls += 1
+                metrics.crash_slot_stalls += 1
                 return False
         for interval in self._doze.get(client, ()):
             if interval.start < end and start < interval.end:
-                self.metrics.doze_slots_missed += 1
+                metrics.doze_slots_missed += 1
                 return False
         return True
+
+    # -- client uplink --------------------------------------------------
+    def uplink_lost(self, client: int) -> bool:
+        """Draw one uplink-loss Bernoulli from ``client``'s own stream.
+
+        Each client owns an independent :class:`numpy.random.Generator`
+        spawned from ``SeedSequence((seed, client))``, so the draw
+        sequence a client sees depends only on the config seed and its
+        id — never on which executor, shard, or interleaving ran it.
+        """
+        stream = self._uplink_streams.get(client)
+        if stream is None:
+            stream = np.random.default_rng(np.random.SeedSequence((self._seed, client)))
+            self._uplink_streams[client] = stream
+        return float(stream.random()) < self.plan.uplink_loss_probability
 
 
 def crash_process(

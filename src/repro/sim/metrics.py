@@ -126,7 +126,38 @@ class MetricsCollector:
     #: initial accumulator capacity (doubles when exhausted)
     _INITIAL_CAPACITY = 256
 
-    def __init__(self):
+    #: scalar tallies combined by :meth:`merge_from` — every count in a
+    #: merged collector is the sum over its shards (``listening_bits``
+    #: holds integer-valued floats, so summation order cannot matter)
+    _COUNTER_FIELDS = (
+        "reads_delivered",
+        "reads_rejected",
+        "cache_hits",
+        "server_commits",
+        "client_updates_committed",
+        "client_updates_rejected",
+        "broadcast_losses",
+        "listening_bits",
+        "aborts_conflict",
+        "aborts_staleness",
+        "aborts_crash",
+        "aborts_uplink",
+        "doze_slots_missed",
+        "crash_slot_stalls",
+        "server_crashes",
+        "quiescent_replay_cycles",
+        "server_txns_lost",
+        "uplink_losses",
+        "uplink_crash_losses",
+        "uplink_retries",
+    )
+
+    def __init__(self, keep_samples: bool = True):
+        #: retain the lazy :class:`TransactionSample` cache across
+        #: accesses.  Sharded mega-runs switch this off: the accumulator
+        #: arrays stay (they are the measurement), but no per-commit
+        #: sample objects are ever held alive between calls.
+        self.keep_samples = keep_samples
         self._tids: List[str] = []
         self._submit_times = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
         self._commit_times = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
@@ -214,6 +245,44 @@ class MetricsCollector:
         self._count = count + 1
 
     @property
+    def commit_count(self) -> int:
+        """Committed transactions recorded, without materialising samples."""
+        return self._count
+
+    def merge_from(self, other: "MetricsCollector") -> None:
+        """Fold another collector's measurements into this one.
+
+        Shard merging: commit accumulators are appended (callers merge
+        shards in shard-index order, so the combined recording order is
+        deterministic; every derived statistic additionally sorts by
+        ``(commit_time, tid)`` and is therefore independent of it) and
+        every scalar tally in :attr:`_COUNTER_FIELDS` is summed.
+        """
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        extra = other._count
+        if extra:
+            new_count = self._count + extra
+            if new_count > self._capacity:
+                capacity = self._capacity
+                while capacity < new_count:
+                    capacity *= 2
+                for name in ("_submit_times", "_commit_times", "_restart_counts"):
+                    old = getattr(self, name)
+                    grown = np.zeros(capacity, dtype=old.dtype)
+                    grown[: self._count] = old[: self._count]
+                    setattr(self, name, grown)
+                self._capacity = capacity
+            self._tids.extend(other._tids)
+            self._submit_times[self._count : new_count] = other._submit_times[:extra]
+            self._commit_times[self._count : new_count] = other._commit_times[:extra]
+            self._restart_counts[self._count : new_count] = other._restart_counts[
+                :extra
+            ]
+            self._count = new_count
+        self._samples_cache = None
+
+    @property
     def samples(self) -> List[TransactionSample]:
         """Recorded commits as sample objects, in recording order.
 
@@ -231,7 +300,8 @@ class MetricsCollector:
                 TransactionSample(tid, submits[i], commits[i], restarts[i])
                 for i, tid in enumerate(self._tids)
             ]
-            self._samples_cache = cache
+            if self.keep_samples:
+                self._samples_cache = cache
         return cache
 
     def steady_state(self, measure_fraction: float) -> List[TransactionSample]:
@@ -249,14 +319,38 @@ class MetricsCollector:
         start = int(len(ordered) * (1 - measure_fraction))
         return ordered[start:]
 
+    def _steady_window(
+        self, measure_fraction: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Steady-state ``(submit, commit, restarts)`` arrays.
+
+        The array twin of :meth:`steady_state`: same ``(commit_time,
+        tid)`` ordering (numpy's unicode comparison is the same
+        code-point order as python's) and the same trailing-fraction
+        trim, but no :class:`TransactionSample` objects — the path the
+        10⁶-client runs with ``keep_samples=False`` take.
+        """
+        if not 0 < measure_fraction <= 1:
+            raise ValueError("measure_fraction must be in (0, 1]")
+        count = self._count
+        commits = self._commit_times[:count]
+        order = np.lexsort((np.asarray(self._tids), commits))
+        start = int(count * (1 - measure_fraction))
+        window = order[start:]
+        return (
+            self._submit_times[:count][window],
+            commits[window],
+            self._restart_counts[:count][window],
+        )
+
     # ------------------------------------------------------------------
     def response_time(self, measure_fraction: float = 0.5) -> SummaryStat:
-        window = self.steady_state(measure_fraction)
-        return summarize([s.response_time for s in window])
+        submits, commits, _ = self._steady_window(measure_fraction)
+        return summarize((commits - submits).tolist())
 
     def restart_ratio(self, measure_fraction: float = 0.5) -> SummaryStat:
-        window = self.steady_state(measure_fraction)
-        return summarize([float(s.restarts) for s in window])
+        _, _, restarts = self._steady_window(measure_fraction)
+        return summarize(restarts.astype(np.float64).tolist())
 
     def mean_listening_per_commit(self) -> float:
         """Tuning time (bits listened) per committed transaction."""

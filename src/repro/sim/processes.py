@@ -66,12 +66,18 @@ class SharedState:
     #: the processes below is guarded on it, so fault-free event sequences
     #: are untouched
     faults: Optional["FaultRuntime"] = None
+    #: when set (the analytical tier), every installed broadcast image is
+    #: retained here by cycle number, so replays can read arbitrarily far
+    #: behind the live pair
+    record_images: Optional[Dict[int, BroadcastCycle]] = None
 
     @property
     def all_clients_done(self) -> bool:
         return self.clients_done >= self.num_clients
 
     def advance(self, broadcast: BroadcastCycle) -> None:
+        if self.record_images is not None:
+            self.record_images[broadcast.cycle] = broadcast
         self.previous_broadcast = self.current_broadcast
         self.current_broadcast = broadcast
 
@@ -180,6 +186,7 @@ def client_process(
         is_update = (
             config.client_update_fraction > 0.0
             and server is not None
+            and config.update_capable(client_id)
             and rng.random() < config.client_update_fraction
         )
         if is_update:
@@ -219,7 +226,7 @@ def client_process(
                     server,
                     metrics,
                     state=state,
-                    rng=rng,
+                    client_id=client_id,
                 )
             if committed:
                 break
@@ -246,15 +253,17 @@ def _submit_update(
     server: "BroadcastServer",
     metrics: MetricsCollector,
     state: Optional[SharedState] = None,
-    rng: Optional[random.Random] = None,
+    client_id: int = 0,
 ) -> "SimAttempt":
     """Ship a finished update transaction up the uplink; True iff committed.
 
     With faults active a submission can be lost — in transit (the plan's
-    ``uplink_loss_probability``) or because the server is down when it
-    arrives.  Either way no verdict comes back: the client waits out the
-    plan's verdict timeout, backs off multiplicatively, and resubmits, up
-    to ``uplink_max_retries`` times before the attempt aborts with a
+    ``uplink_loss_probability``, drawn from the client's own seeded
+    stream so the sequence is independent of executor and shard layout)
+    or because the server is down when it arrives.  Either way no
+    verdict comes back: the client waits out the plan's verdict timeout,
+    backs off multiplicatively, and resubmits, up to
+    ``uplink_max_retries`` times before the attempt aborts with a
     cause-attributed metric.
     """
     assert isinstance(runtime, ClientUpdateTransactionRuntime)
@@ -271,10 +280,8 @@ def _submit_update(
                 # the submission reaches a dead uplink: no verdict ever
                 metrics.uplink_crash_losses += 1
                 cause = "crash"
-            elif (
-                plan.uplink_loss_probability > 0.0
-                and rng is not None
-                and rng.random() < plan.uplink_loss_probability
+            elif plan.uplink_loss_probability > 0.0 and faults.uplink_lost(
+                client_id
             ):
                 metrics.uplink_losses += 1
                 cause = "uplink"

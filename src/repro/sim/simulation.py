@@ -12,20 +12,32 @@ One simulator instance hosts: the cycle process, the server completion
 process, and ``num_clients`` client processes (the paper simulates one
 client — protocol decisions at distinct clients are independent, so a
 single client suffices for response-time statistics; more are supported).
+
+Sharded runs (``config.shards > 1``; :mod:`repro.sim.shard`) give each
+shard a :class:`ShardSlice`: every shard deterministically *recomputes*
+the authoritative timeline — the cycle, server, crash and update-client
+processes — from the shared seeds, and simulates only its own contiguous
+range of read-only clients on top of it.  Read-only clients never touch
+shared state, so the timeline each shard derives is bit-identical to the
+unsharded run's; the only data shards exchange is their merged
+:class:`MetricsCollector`.  Exactly one shard (the primary) records the
+infrastructure's and the update clients' metrics; the others route those
+"ghost" measurements into a shadow collector that is dropped on the
+floor, so the merge counts everything exactly once.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an import cycle
     from ..analysis.diagnostics import AuditReport
 
 from ..broadcast.layout import BroadcastLayout
 from ..client.cache import QuasiCache
-from ..core.validators import make_validator
+from ..core.validators import ReadValidator, make_validator
 from ..server.server import BroadcastServer
 from ..server.workload import ClientWorkload, ServerWorkload
 from .cohort import CohortClient, CohortExecutor
@@ -36,7 +48,46 @@ from .metrics import MetricsCollector, SummaryStat
 from .processes import SharedState, client_process, cycle_process, server_process
 from .trace import TraceRecorder
 
-__all__ = ["SimulationResult", "BroadcastSimulation", "run_simulation"]
+__all__ = [
+    "SimulationResult",
+    "ShardSlice",
+    "BroadcastSimulation",
+    "run_simulation",
+]
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """Which clients one sharded simulation simulates and measures.
+
+    Update-capable clients ``[0, updaters)`` are part of the shared
+    authoritative timeline (they mutate the server over the uplink), so
+    *every* shard simulates them; only the primary shard records their
+    metrics.  Read-only clients ``[reader_lo, reader_hi)`` exist — and
+    are measured — on exactly one shard.
+    """
+
+    #: update-capable clients, simulated on every shard
+    updaters: int
+    #: this shard's contiguous read-only client range (half-open)
+    reader_lo: int
+    reader_hi: int
+    #: does this shard record the timeline's (server/crash/updater) metrics?
+    primary: bool
+
+    @property
+    def num_readers(self) -> int:
+        return self.reader_hi - self.reader_lo
+
+
+def _full_slice(config: SimulationConfig) -> ShardSlice:
+    updaters = config.update_capable_clients()
+    return ShardSlice(
+        updaters=updaters,
+        reader_lo=updaters,
+        reader_hi=config.num_clients,
+        primary=True,
+    )
 
 
 @dataclass
@@ -68,12 +119,19 @@ class BroadcastSimulation:
         *,
         collect_trace: bool = False,
         client_workloads: Optional[List] = None,
+        slice_: Optional[ShardSlice] = None,
     ):
         """``client_workloads`` optionally overrides the per-client
         generators — any objects with ``next_transaction()`` (e.g.
         :class:`repro.server.traces.TraceWorkload` for replayable
-        workloads); one per client."""
+        workloads); one per client (indexed by global client id).
+
+        ``slice_`` restricts this simulation to one shard's clients
+        (:mod:`repro.sim.shard` builds these); ``None`` simulates and
+        measures everyone.
+        """
         self.config = config
+        self.slice = _full_slice(config) if slice_ is None else slice_
         self.layout: BroadcastLayout = config.layout()
         self.server = BroadcastServer(
             config.num_objects,
@@ -81,16 +139,30 @@ class BroadcastSimulation:
             arithmetic=config.arithmetic(),
             partition=config.partition(),
         )
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(keep_samples=config.keep_samples)
+        #: where the shared timeline's metrics (server process, crash
+        #: recovery, ghost update clients) land: the measured collector
+        #: on the primary shard, a discarded shadow elsewhere
+        self._timeline_metrics = (
+            self.metrics
+            if self.slice.primary
+            else MetricsCollector(keep_samples=False)
+        )
+        if (collect_trace or config.audit) and slice_ is not None:
+            raise ValueError("trace/audit runs cannot be sliced into shards")
         self.trace = TraceRecorder() if (collect_trace or config.audit) else None
         if self.trace is not None and config.audit:
             self.trace.record_cycles = True
-        self.state = SharedState(num_clients=config.num_clients)
+        local_clients = self.slice.updaters + self.slice.num_readers
+        self.state = SharedState(num_clients=local_clients)
         # a no-op plan is indistinguishable from no plan: no runtime, no
         # crash process, bit-identical event sequences
         if config.faults is not None and not config.faults.is_noop:
             self.state.faults = FaultRuntime(
-                config.faults, config.arithmetic(), self.metrics
+                config.faults,
+                config.arithmetic(),
+                self._timeline_metrics,
+                seed=config.seed,
             )
         self.sim = Simulator()
 
@@ -102,32 +174,56 @@ class BroadcastSimulation:
             seed=base_seed * 1_000_003 + 1,
         )
         self._server_rng = random.Random(base_seed * 1_000_003 + 2)
-        if client_workloads is not None:
-            if len(client_workloads) != config.num_clients:
-                raise ValueError(
-                    f"need {config.num_clients} client workloads, "
-                    f"got {len(client_workloads)}"
-                )
-            self._client_workloads = list(client_workloads)
-        else:
-            self._client_workloads = [
-                ClientWorkload(
-                    config.num_objects,
-                    length=config.client_txn_length,
-                    seed=base_seed * 1_000_003 + 100 + k,
-                    access_skew=config.client_access_skew,
-                    hot_fraction=config.hot_fraction,
-                )
-                for k in range(config.num_clients)
-            ]
-        self._client_rngs = [
-            random.Random(base_seed * 1_000_003 + 200 + k)
-            for k in range(config.num_clients)
-        ]
+        if client_workloads is not None and len(client_workloads) != config.num_clients:
+            raise ValueError(
+                f"need {config.num_clients} client workloads, "
+                f"got {len(client_workloads)}"
+            )
+        self._workload_overrides = (
+            list(client_workloads) if client_workloads is not None else None
+        )
+
+    # -- per-client stream factories -----------------------------------
+    # Built on demand (never a list over the whole population): client
+    # ``k``'s workload and RNG are pure functions of the config seed and
+    # ``k``, so any shard — or the analytical tier, one client at a
+    # time — reconstructs exactly the streams the unsharded run uses.
+    def workload_for(self, k: int) -> ClientWorkload:
+        if self._workload_overrides is not None:
+            return self._workload_overrides[k]
+        config = self.config
+        return ClientWorkload(
+            config.num_objects,
+            length=config.client_txn_length,
+            seed=config.seed * 1_000_003 + 100 + k,
+            access_skew=config.client_access_skew,
+            hot_fraction=config.hot_fraction,
+        )
+
+    def rng_for(self, k: int) -> random.Random:
+        return random.Random(self.config.seed * 1_000_003 + 200 + k)
+
+    def cache_for(self, _k: int) -> Optional[QuasiCache]:
+        config = self.config
+        if config.cache_currency_bound is None:
+            return None
+        return QuasiCache(config.cache_currency_bound, capacity=config.cache_capacity)
+
+    def validator_for(self, _k: int) -> ReadValidator:
+        config = self.config
+        return make_validator(
+            config.protocol,
+            arithmetic=config.arithmetic(),
+            partition=config.partition(),
+        )
+
+    def _local_client_ids(self) -> List[int]:
+        sl = self.slice
+        return list(range(sl.updaters)) + list(range(sl.reader_lo, sl.reader_hi))
 
     # ------------------------------------------------------------------
-    def run(self, *, max_events: Optional[int] = None) -> SimulationResult:
-        config = self.config
+    def spawn_timeline(self) -> None:
+        """Spawn the authoritative processes: cycle and server."""
         sim = self.sim
         sim.spawn(
             cycle_process(sim, self.server, self.layout, self.state, self.trace),
@@ -136,37 +232,52 @@ class BroadcastSimulation:
         sim.spawn(
             server_process(
                 sim,
-                config,
+                self.config,
                 self.server,
                 self._server_workload,
                 self.layout,
                 self._server_rng,
-                self.metrics,
+                self._timeline_metrics,
                 state=self.state,
             ),
             name="server",
         )
-        cohort_clients: List[CohortClient] = []
-        for k in range(config.num_clients):
-            cache = None
-            if config.cache_currency_bound is not None:
-                cache = QuasiCache(
-                    config.cache_currency_bound, capacity=config.cache_capacity
-                )
-            validator = make_validator(
-                config.protocol,
-                arithmetic=config.arithmetic(),
-                partition=config.partition(),
+
+    def spawn_crash_process(self) -> None:
+        """Spawn crash recovery (after the clients: spawn order is part
+        of the determinism contract for same-instant tie-breaking)."""
+        if self.state.faults is not None and self.state.faults.plan.crashes:
+            self.sim.spawn(
+                crash_process(
+                    self.sim,
+                    self.config,
+                    self.server,
+                    self.layout,
+                    self.state,
+                    self._timeline_metrics,
+                    trace=self.trace,
+                ),
+                name="fault-crash",
             )
+
+    def _run_events(self, max_events: Optional[int]) -> Tuple[float, int]:
+        """The event-driven path: process or cohort executor."""
+        config = self.config
+        sim = self.sim
+        sl = self.slice
+        self.spawn_timeline()
+        # ghost updaters (non-primary shards) record into the shadow
+        # collector; everyone this shard measures records into the real one
+        ghosts: List[CohortClient] = []
+        measured: List[CohortClient] = []
+        for k in self._local_client_ids():
+            cache = self.cache_for(k)
+            validator = self.validator_for(k)
+            is_ghost = not sl.primary and k < sl.updaters
             if config.client_executor == "cohort":
-                cohort_clients.append(
-                    CohortClient(
-                        k,
-                        self._client_workloads[k],
-                        validator,
-                        self._client_rngs[k],
-                        cache,
-                    )
+                group = ghosts if is_ghost else measured
+                group.append(
+                    CohortClient(k, self.workload_for(k), validator, self.rng_for(k), cache)
                 )
                 continue
             sim.spawn(
@@ -174,46 +285,53 @@ class BroadcastSimulation:
                     sim,
                     config,
                     k,
-                    self._client_workloads[k],
+                    self.workload_for(k),
                     validator,
                     self.layout,
                     self.state,
                     self.metrics,
-                    self._client_rngs[k],
+                    self.rng_for(k),
                     server=self.server,
                     trace=self.trace,
                     cache=cache,
                 ),
                 name=f"client-{k}",
             )
-        if self.state.faults is not None and self.state.faults.plan.crashes:
-            # spawned after the clients so fault-free spawn order (hence
-            # same-instant tie-breaking) is untouched on zero-crash plans
-            sim.spawn(
-                crash_process(
-                    sim,
-                    config,
-                    self.server,
-                    self.layout,
-                    self.state,
-                    self.metrics,
+        self.spawn_crash_process()
+        for group, collector in ((ghosts, self._timeline_metrics), (measured, self.metrics)):
+            if group:
+                CohortExecutor(
+                    sim=sim,
+                    config=config,
+                    layout=self.layout,
+                    state=self.state,
+                    server=self.server,
+                    metrics=collector,
+                    clients=group,
                     trace=self.trace,
-                ),
-                name="fault-crash",
-            )
-        if cohort_clients:
-            CohortExecutor(
-                sim=sim,
-                config=config,
-                layout=self.layout,
-                state=self.state,
-                server=self.server,
-                metrics=self.metrics,
-                clients=cohort_clients,
-                trace=self.trace,
-            ).start()
+                ).start()
 
         sim.run(stop_when=lambda: self.state.all_clients_done, max_events=max_events)
+        return sim.now, sim.events_processed
+
+    def execute(self, max_events: Optional[int] = None) -> Tuple[float, int]:
+        """Run the simulation; returns ``(sim_time, events)``.
+
+        Metrics land in ``self.metrics``; :meth:`run` wraps this with the
+        summary statistics.  Shard workers call this directly — a
+        secondary shard's partial sample set isn't summarisable on its
+        own.
+        """
+        if self.config.client_executor == "analytic":
+            # imported lazily: the analytical tier is optional machinery
+            from .analytic import run_analytic
+
+            return run_analytic(self, max_events=max_events)
+        return self._run_events(max_events)
+
+    def run(self, *, max_events: Optional[int] = None) -> SimulationResult:
+        config = self.config
+        sim_time, events = self.execute(max_events)
 
         result = SimulationResult(
             config=config,
@@ -222,8 +340,8 @@ class BroadcastSimulation:
             metrics=self.metrics,
             server=self.server,
             trace=self.trace,
-            sim_time=sim.now,
-            events=sim.events_processed,
+            sim_time=sim_time,
+            events=events,
         )
         if config.audit:
             # Imported here (not at module top) so repro.sim never depends
@@ -241,7 +359,11 @@ def run_simulation(
     collect_trace: bool = False,
     max_events: Optional[int] = None,
 ) -> SimulationResult:
-    """Build and run one simulation."""
+    """Build and run one simulation (sharded when ``config.shards > 1``)."""
+    if config.shards > 1:
+        from .shard import run_sharded
+
+        return run_sharded(config, collect_trace=collect_trace, max_events=max_events)
     return BroadcastSimulation(config, collect_trace=collect_trace).run(
         max_events=max_events
     )

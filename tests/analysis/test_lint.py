@@ -55,6 +55,12 @@ def process(sim):
     while True:
         yield Tick()
 ''',
+    "REP008": '''\
+__all__ = []
+
+def snapshot(self):
+    return [c.state for c in self.clients]
+''',
 }
 
 
@@ -215,6 +221,66 @@ class TestRules:
         )
         # the escape comment quiets REP007; REP002 still reports the draw
         assert {f.rule for f in lint_file(path)} == {"REP002"}
+
+    def test_rep008_scoped_to_shard_hot_paths(self):
+        population = next(r for r in RULES if r.rule_id == "REP008")
+        assert population.applies_to("src/repro/sim/cohort.py")
+        assert population.applies_to("src/repro/sim/shard.py")
+        assert population.applies_to("src/repro/sim/analytic.py")
+        assert not population.applies_to("src/repro/sim/processes.py")
+        assert not population.applies_to("src/repro/experiments/bench.py")
+        assert population.applies_to("tests/analysis/fixture.py")
+
+    def test_rep008_generator_expressions_stream(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "streaming.py",
+            "__all__ = []\n\n\ndef total(members):\n"
+            "    return sum(m.cost for m in members)\n",
+        )
+        assert lint_file(path) == []
+
+    def test_rep008_non_population_iterables_ignored(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "bounded.py",
+            "__all__ = []\n\n\ndef widths(columns):\n"
+            "    return [len(c) for c in columns]\n",
+        )
+        assert lint_file(path) == []
+
+    def test_rep008_flags_dict_and_set_comps_and_attributes(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "percohort.py",
+            "__all__ = []\n\n\ndef index(self, survivors):\n"
+            "    ids = {c.client_id for c in survivors}\n"
+            "    by_id = {c.client_id: c for c in self.readers}\n"
+            "    return ids, by_id\n",
+        )
+        findings = lint_file(path)
+        assert [f.rule for f in findings] == ["REP008", "REP008"]
+        assert "survivors" in findings[0].message
+        assert "readers" in findings[1].message
+
+    def test_allow_client_loop_escape(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "allowed_loop.py",
+            "__all__ = []\n\n\ndef snapshot(self):\n"
+            "    # rep: allow-client-loop — startup scan, runs once\n"
+            "    return [c.state for c in self.clients]\n",
+        )
+        assert lint_file(path) == []
+
+    def test_allow_client_loop_on_same_line(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "allowed_inline.py",
+            "__all__ = []\n\n\ndef pick(members):\n"
+            "    return [m for m in members]  # rep: allow-client-loop\n",
+        )
+        assert lint_file(path) == []
 
 
 class TestDriver:

@@ -2,8 +2,9 @@
 
 Covers the plan's validation rules, the zero-fault bit-identity
 guarantee, the doze/staleness guard under modulo timestamps, mid-run
-server crash + recovery, uplink loss with retry/backoff, and the
-cohort executor's explicit rejection of faulty plans.
+server crash + recovery, uplink loss with retry/backoff, and the cohort
+executor's bit-identical handling of faulty plans (the analytical tier
+alone still refuses them).
 """
 
 import pytest
@@ -15,11 +16,8 @@ from repro.sim import (
     MetricsCollector,
     ServerCrash,
     SimulationConfig,
-    Simulator,
     run_simulation,
 )
-from repro.sim.cohort import CohortExecutor
-from repro.sim.processes import SharedState
 
 FAULTY = dict(
     protocol="f-matrix",
@@ -156,34 +154,25 @@ class TestConfigIntegration:
         with pytest.raises(ValueError, match="client 5"):
             faulty_config(num_clients=3, faults=plan)
 
-    def test_cohort_executor_rejects_faulty_plan(self):
+    def test_cohort_executor_accepts_faulty_plan(self):
+        # PR 3 refused faults in the batched path; lifted since —
+        # TestCohortFaultEquivalence holds the executor to bit-identity
         plan = FaultPlan(uplink_loss_probability=0.1)
-        with pytest.raises(ValueError, match="cohort"):
-            faulty_config(client_executor="cohort", faults=plan)
+        config = faulty_config(client_executor="cohort", faults=plan)
+        assert config.faults is plan
 
     def test_cohort_executor_accepts_noop_plan(self):
         config = faulty_config(client_executor="cohort", faults=FaultPlan())
         assert config.faults is not None and config.faults.is_noop
 
-    def test_cohort_runtime_guard(self):
-        # belt and braces: the executor itself refuses a faulty state
-        config = faulty_config()
-        state = SharedState(num_clients=1)
-        state.faults = FaultRuntime(
-            FaultPlan(uplink_loss_probability=0.1),
-            config.arithmetic(),
-            MetricsCollector(),
-        )
-        with pytest.raises(ValueError, match="fault injection"):
-            CohortExecutor(
-                sim=Simulator(),
-                config=config,
-                layout=config.layout(),
-                state=state,
-                server=None,
-                metrics=MetricsCollector(),
-                clients=[],
-            )
+    def test_analytic_tier_rejects_faulty_plan(self):
+        plan = FaultPlan(uplink_loss_probability=0.1)
+        with pytest.raises(ValueError, match="analytical tier"):
+            faulty_config(client_executor="analytic", faults=plan)
+
+    def test_analytic_tier_accepts_noop_plan(self):
+        config = faulty_config(client_executor="analytic", faults=FaultPlan())
+        assert config.faults is not None and config.faults.is_noop
 
 
 class TestZeroFaultIdentity:
@@ -346,3 +335,154 @@ class TestFaultRuntime:
         assert runtime.slot_heard(0, 15.0, 16.0)
         assert runtime.metrics.server_crashes == 1
         assert runtime.metrics.crash_slot_stalls == 2
+
+    def test_slot_heard_routes_to_explicit_collector(self):
+        # sharded runs charge doze misses to the *measured* shard's
+        # collector, not the runtime's default (shadow) one
+        runtime = self._runtime(FaultPlan(doze=(DozeInterval(0, 10.0, 5.0),)))
+        shard_metrics = MetricsCollector()
+        assert not runtime.slot_heard(0, 9.0, 11.0, shard_metrics)
+        assert shard_metrics.doze_slots_missed == 1
+        assert runtime.metrics.doze_slots_missed == 0
+
+    def test_uplink_streams_are_per_client_and_seed(self):
+        plan = FaultPlan(uplink_loss_probability=0.5)
+        config = faulty_config()
+        a = FaultRuntime(plan, config.arithmetic(), MetricsCollector(), seed=7)
+        b = FaultRuntime(plan, config.arithmetic(), MetricsCollector(), seed=7)
+        draws_a = [a.uplink_lost(2) for _ in range(32)]
+        draws_b = [b.uplink_lost(2) for _ in range(32)]
+        assert draws_a == draws_b
+        # interleaving another client's draws must not perturb client 2
+        c = FaultRuntime(plan, config.arithmetic(), MetricsCollector(), seed=7)
+        draws_c = []
+        for _ in range(32):
+            c.uplink_lost(0)
+            draws_c.append(c.uplink_lost(2))
+        assert draws_c == draws_a
+
+
+def _fault_signature(result):
+    """Executor-independent observables (event counts excluded: the
+    cohort executor legitimately coalesces kernel events)."""
+    m = result.metrics
+    return {
+        "commits": sorted(
+            (s.tid, s.submit_time, s.commit_time, s.restarts) for s in m.samples
+        ),
+        "sim_time": result.sim_time,
+        "counters": {
+            name: getattr(m, name) for name in MetricsCollector._COUNTER_FIELDS
+        },
+    }
+
+
+class TestCohortFaultEquivalence:
+    """PR 7: faults run *inside* the batched path, bit-identically.
+
+    Every scenario runs once per executor; the full observable signature
+    (commit multiset, fault-attributed counters, stop time) must match
+    the per-process oracle exactly.  Crash times follow the x.5-cycle
+    convention so outage boundaries never collide with slot events.
+    """
+
+    def _scenarios(self):
+        cb = faulty_config().cycle_bits
+        window = 2 ** FAULTY["timestamp_bits"]
+        return {
+            "doze-wrap": dict(
+                num_clients=2,
+                num_client_transactions=20,
+                faults=FaultPlan(
+                    doze=tuple(
+                        DozeInterval(0, start * cb, (window + 1) * cb)
+                        for start in (8, 30, 52, 74)
+                    )
+                ),
+            ),
+            "doze-multi-client": dict(
+                faults=FaultPlan(
+                    doze=(
+                        DozeInterval(0, 3 * cb, 2 * cb),
+                        DozeInterval(2, 9 * cb, 4 * cb),
+                    )
+                ),
+            ),
+            "crash-recovery": dict(
+                num_client_transactions=8,
+                faults=FaultPlan(crashes=(ServerCrash(10.5 * cb, 2.5 * cb),)),
+            ),
+            "uplink-loss": dict(
+                num_client_transactions=15,
+                client_update_fraction=0.5,
+                faults=FaultPlan(uplink_loss_probability=0.4),
+            ),
+            "uplink-exhausted": dict(
+                num_client_transactions=15,
+                client_update_fraction=0.5,
+                faults=FaultPlan(
+                    uplink_loss_probability=0.8, uplink_max_retries=0
+                ),
+            ),
+            "combined": dict(
+                num_client_transactions=12,
+                client_update_fraction=0.3,
+                faults=FaultPlan(
+                    doze=(DozeInterval(1, 5 * cb, 3 * cb),),
+                    crashes=(ServerCrash(14.5 * cb, 2.5 * cb),),
+                    uplink_loss_probability=0.3,
+                ),
+            ),
+            "unbounded-timestamps": dict(
+                modulo_timestamps=False,
+                num_client_transactions=12,
+                client_update_fraction=0.3,
+                faults=FaultPlan(uplink_loss_probability=0.3),
+            ),
+        }
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            "doze-wrap",
+            "doze-multi-client",
+            "crash-recovery",
+            "uplink-loss",
+            "uplink-exhausted",
+            "combined",
+            "unbounded-timestamps",
+        ],
+    )
+    @pytest.mark.parametrize("seed", [7, 21])
+    def test_cohort_matches_process_oracle(self, scenario, seed):
+        params = self._scenarios()[scenario]
+        oracle = run_simulation(faulty_config(seed=seed, **params))
+        cohort = run_simulation(
+            faulty_config(seed=seed, client_executor="cohort", **params)
+        )
+        assert _fault_signature(cohort) == _fault_signature(oracle)
+
+    def test_sharded_cohort_matches_oracle_under_faults(self):
+        cb = faulty_config().cycle_bits
+        params = dict(
+            num_clients=6,
+            num_client_transactions=8,
+            client_update_fraction=0.4,
+            num_update_clients=2,
+            faults=FaultPlan(
+                doze=(
+                    DozeInterval(1, 5 * cb, 3 * cb),
+                    DozeInterval(4, 9 * cb, 2 * cb),
+                ),
+                crashes=(ServerCrash(14.5 * cb, 2.5 * cb),),
+                uplink_loss_probability=0.3,
+            ),
+        )
+        from repro.sim.shard import run_sharded
+
+        oracle = run_simulation(faulty_config(**params))
+        sharded = run_sharded(
+            faulty_config(client_executor="cohort", shards=3, **params),
+            workers=0,
+        )
+        assert _fault_signature(sharded) == _fault_signature(oracle)

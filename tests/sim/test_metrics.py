@@ -121,3 +121,91 @@ class TestMetricsCollector:
         m.record_commit("a", 0.0, 1.0, 5)
         assert type(m.samples[0].restarts) is int
         assert type(m.samples[0].commit_time) is float
+
+    def test_commit_count_without_materialising_samples(self):
+        m = MetricsCollector()
+        self._fill(m, 7)
+        assert m.commit_count == 7
+        assert m._samples_cache is None  # counting touched no objects
+
+    def test_keep_samples_off_skips_the_cache(self):
+        m = MetricsCollector(keep_samples=False)
+        self._fill(m, 3)
+        first = m.samples
+        assert len(first) == 3
+        assert m._samples_cache is None
+        assert m.samples is not first  # rebuilt per access, never held
+        # the array-backed statistics are unaffected
+        assert m.response_time(1.0).count == 3
+
+    def test_summary_paths_agree_with_sample_objects(self):
+        """Array statistics ≡ the object path, including tid tie-breaks."""
+        m = MetricsCollector()
+        m.record_commit("b", 0.0, 100.0, 0)
+        m.record_commit("a", 0.0, 100.0, 4)
+        m.record_commit("c", 5.0, 90.0, 2)
+        window = m.steady_state(0.5)
+        stat = m.response_time(0.5)
+        assert stat.count == len(window)
+        assert stat.mean == pytest.approx(
+            sum(s.response_time for s in window) / len(window)
+        )
+        assert m.restart_ratio(0.5).mean == pytest.approx(
+            sum(s.restarts for s in window) / len(window)
+        )
+
+
+class TestMergeFrom:
+    def _filled(self, tids, counter_bump=0):
+        m = MetricsCollector()
+        for k, tid in enumerate(tids):
+            m.record_commit(tid, k * 10.0, k * 10.0 + 5.0, k)
+        m.reads_delivered = counter_bump
+        m.listening_bits = float(counter_bump)
+        return m
+
+    def test_counters_sum_and_samples_append(self):
+        a = self._filled(["a0", "a1"], counter_bump=3)
+        b = self._filled(["b0", "b1", "b2"], counter_bump=4)
+        a.merge_from(b)
+        assert a.commit_count == 5
+        assert a.reads_delivered == 7
+        assert a.listening_bits == 7.0
+        assert [s.tid for s in a.samples] == ["a0", "a1", "b0", "b1", "b2"]
+        # the donor is untouched
+        assert b.commit_count == 3 and b.reads_delivered == 4
+
+    def test_merge_grows_capacity(self):
+        a = self._filled([f"a{k}" for k in range(5)])
+        big = MetricsCollector()
+        n = MetricsCollector._INITIAL_CAPACITY + 7
+        for k in range(n):
+            big.record_commit(f"b{k}", float(k), float(k) + 1.0, 0)
+        a.merge_from(big)
+        assert a.commit_count == 5 + n
+        assert a.samples[-1].tid == f"b{n - 1}"
+        assert a.samples[-1].submit_time == float(n - 1)
+
+    def test_merge_order_does_not_affect_statistics(self):
+        parts = [
+            self._filled(["a", "b"]),
+            self._filled(["c"]),
+            self._filled(["d", "e", "f"]),
+        ]
+        forward = MetricsCollector()
+        for p in parts:
+            forward.merge_from(p)
+        backward = MetricsCollector()
+        for p in reversed(parts):
+            backward.merge_from(p)
+        assert (
+            forward.response_time(1.0).mean == backward.response_time(1.0).mean
+        )
+        assert sorted(s.tid for s in forward.samples) == sorted(
+            s.tid for s in backward.samples
+        )
+
+    def test_merge_empty_collector_is_identity(self):
+        a = self._filled(["a0"], counter_bump=2)
+        a.merge_from(MetricsCollector())
+        assert a.commit_count == 1 and a.reads_delivered == 2
