@@ -26,8 +26,10 @@ audit:
 
 # tiny benchmark run: crash-detection for the harness and fast paths,
 # not a measurement (see docs/PERFORMANCE.md for real runs).  The
-# scaling section exercises the cohort executor at 8 and 64 clients and
-# cross-checks process-vs-cohort metric identity; its JSON lands in
+# scaling section exercises the cohort executor at 8 and 64 clients,
+# cross-checks process-vs-cohort metric identity, and runs one
+# timeline point (recompute vs. zero-copy arena replay at 2 shards,
+# with a cross-run cache hit); its JSON lands in
 # bench-scaling-smoke.json (the committed BENCH_scaling.json is the
 # real measurement and is never overwritten here).
 bench-smoke:

@@ -17,6 +17,7 @@ from .determinism import (
 from .encapsulation import NoForeignPrivateMutationRule
 from .exports import MandatoryAllRule
 from .floats import NoFloatEqualityRule
+from .pickling import NoSimStatePicklingRule
 from .population import NoPopulationComprehensionRule
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "MandatoryAllRule",
     "NoHotLoopAllocationRule",
     "NoPopulationComprehensionRule",
+    "NoSimStatePicklingRule",
 ]

@@ -30,8 +30,15 @@ Three sections:
   analytical tier, cross-checked against ``shards=1`` at every point
   and against the cohort executor up to 65 536 clients.  Every point
   records its own provenance (actual ``os.cpu_count()``, shard count,
-  effective pool workers), and a re-run at one point double-checks
-  same-seed determinism.
+  effective pool workers, and ``getrusage`` max-RSS high-water marks for
+  the parent and its pool workers), and a re-run at one point
+  double-checks same-seed determinism.  A **timeline** sub-section
+  times sharded ``timeline_mode="recompute"`` against
+  ``timeline_mode="replay"`` (one recording pass, zero-copy
+  shared-memory arena, observer shards) on the same seeded workload,
+  then re-runs replay warm and with a client-side parameter varied to
+  demonstrate a real cross-run :data:`repro.sim.TIMELINE_CACHE` hit —
+  every mode bit-identical to the unsharded oracle.
 
 With ``--append`` the run is added to the existing document's ``runs``
 list and a ``comparison`` block (first vs. last run: per-workload speedup
@@ -47,6 +54,7 @@ import os
 import pathlib
 import platform
 import random
+import resource
 import sys
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -57,6 +65,7 @@ from ..core.control_matrix import ControlMatrix
 from ..core.cycles import UnboundedCycles
 from ..core.validators import ControlSnapshot, make_validator
 from ..server.server import BroadcastServer
+from ..sim.arena import TIMELINE_CACHE
 from ..sim.config import SimulationConfig
 from ..sim.simulation import run_simulation
 from .figures import EXPERIMENTS
@@ -66,6 +75,7 @@ __all__ = [
     "bench_micro",
     "bench_sweeps",
     "bench_scaling",
+    "bench_timeline",
     "MEGA_CLIENT_COUNTS",
     "SCALING_CLIENT_COUNTS",
     "run_bench",
@@ -423,6 +433,25 @@ def _provenance(shards: int) -> Dict[str, Any]:
     }
 
 
+def _max_rss_kb() -> Dict[str, int]:
+    """Peak-memory provenance: max-RSS high-water marks, in KiB.
+
+    ``ru_maxrss`` is a monotone per-process high-water mark (KiB on
+    Linux), so a point's value bounds everything run *up to and
+    including* that point — call this when the point finishes.  The
+    parent's own mark covers the primary shard and every arena the
+    recording pass sealed; the children's mark covers the pool workers,
+    which under timeline replay attach zero-copy and should therefore
+    stay flat as shard counts grow.
+    """
+    return {
+        "max_rss_self_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "max_rss_children_kb": resource.getrusage(
+            resource.RUSAGE_CHILDREN
+        ).ru_maxrss,
+    }
+
+
 def _mega_point(
     base: SimulationConfig, num_clients: int, transactions: int
 ) -> Dict[str, Any]:
@@ -474,7 +503,105 @@ def _mega_point(
     point["identity_basis"] = basis
     point["metrics_identical"] = all(basis.values())
     point["signature"] = sharded
+    point.update(_max_rss_kb())
     return point
+
+
+# ----------------------------------------------------------------------
+# section: timeline replay (recompute vs. zero-copy arena replay)
+# ----------------------------------------------------------------------
+
+#: the regime the timeline arena targets: an update-heavy server whose
+#: authoritative timeline is expensive relative to each shard's reader
+#: slice, so recomputing it per shard is the dominant sharding overhead
+_TIMELINE_WORKLOAD = dict(
+    protocol="f-matrix",
+    num_objects=128,
+    client_txn_length=6,
+    mean_inter_operation_delay=4096.0,
+    mean_inter_transaction_delay=16384.0,
+    server_txn_length=4,
+    server_txn_interval=20_000.0,
+    client_executor="analytic",
+)
+
+
+def bench_timeline(
+    *,
+    shards: int = 4,
+    clients: int = 2048,
+    variant_clients: int = 1024,
+    transactions: int = 2,
+    seed: int = 42,
+) -> Dict[str, Any]:
+    """Recompute vs. replay at ``shards``, plus a cross-run cache hit.
+
+    Four timed runs of the same seeded workload: the unsharded oracle,
+    the sharded run with ``timeline_mode="recompute"`` (every shard
+    re-derives the broadcast timeline from seeds), the sharded run with
+    ``timeline_mode="replay"`` against a cold cache (one recording pass,
+    observers attach to the shared-memory arena), and the same replay
+    again warm (the sealed arena comes out of :data:`TIMELINE_CACHE`).
+    A fifth run varies a *client-side* parameter only (the population
+    size) and must hit the cache too — that is the cross-run reuse the
+    cache exists for, verified against its own unsharded oracle.
+    ``metrics_identical`` aggregates all four identity bases; every
+    mode must reproduce the oracle bit for bit.
+    """
+    base = SimulationConfig(
+        num_clients=clients,
+        num_client_transactions=transactions,
+        seed=seed,
+        **_TIMELINE_WORKLOAD,
+    )
+    sharded = base.replace(shards=shards)
+    replaying = sharded.replace(timeline_mode="replay")
+    out: Dict[str, Any] = {
+        "clients": clients,
+        "transactions": transactions,
+        **_provenance(shards),
+    }
+    gc.collect()
+    oracle_seconds, oracle = _timed(lambda: run_simulation(base))
+    oracle_sig = _metric_signature(oracle)
+    gc.collect()
+    recompute_seconds, recompute = _timed(lambda: run_simulation(sharded))
+    TIMELINE_CACHE.clear()
+    gc.collect()
+    replay_seconds, replay = _timed(lambda: run_simulation(replaying))
+    gc.collect()
+    cached_seconds, cached = _timed(lambda: run_simulation(replaying))
+    variant_config = replaying.replace(num_clients=variant_clients)
+    gc.collect()
+    variant_seconds, variant = _timed(lambda: run_simulation(variant_config))
+    variant_oracle = run_simulation(base.replace(num_clients=variant_clients))
+    basis = {
+        "recompute-vs-unsharded": _metric_signature(recompute) == oracle_sig,
+        "replay-vs-unsharded": _metric_signature(replay) == oracle_sig,
+        "cached-replay-vs-unsharded": _metric_signature(cached) == oracle_sig,
+        "cached-variant-vs-unsharded": (
+            _metric_signature(variant) == _metric_signature(variant_oracle)
+        ),
+    }
+    out["oracle_seconds"] = round(oracle_seconds, 4)
+    out["recompute_seconds"] = round(recompute_seconds, 4)
+    out["replay_seconds"] = round(replay_seconds, 4)
+    out["cached_replay_seconds"] = round(cached_seconds, 4)
+    out["replay_speedup"] = round(recompute_seconds / replay_seconds, 2)
+    out["cached_replay_speedup"] = round(recompute_seconds / cached_seconds, 2)
+    out["replay_stats"] = replay.timeline_stats
+    out["cached_replay_stats"] = cached.timeline_stats
+    out["variant"] = {
+        "clients": variant_clients,
+        "seconds": round(variant_seconds, 4),
+        "stats": variant.timeline_stats,
+    }
+    out["identity_basis"] = basis
+    out["metrics_identical"] = all(basis.values())
+    out["signature"] = oracle_sig
+    out["cache"] = TIMELINE_CACHE.stats.as_dict()
+    out.update(_max_rss_kb())
+    return out
 
 
 def bench_scaling(
@@ -485,6 +612,9 @@ def bench_scaling(
     trials: int = 3,
     include_defaults: bool = True,
     mega: Sequence[int] = MEGA_CLIENT_COUNTS,
+    timeline_shards: int = 4,
+    timeline_clients: int = 2048,
+    timeline_variant_clients: int = 1024,
 ) -> Dict[str, Any]:
     """Time the executors over a client sweep, with identity verdicts.
 
@@ -539,6 +669,7 @@ def bench_scaling(
             # the first one bit for bit
             rerun = run_simulation(config.replace(client_executor="cohort"))
             determinism_ok = _metric_signature(rerun) == signatures["cohort"]
+        point.update(_max_rss_kb())
         points.append(point)
     out["points"] = points
     out["same_seed_determinism_ok"] = determinism_ok
@@ -547,6 +678,15 @@ def bench_scaling(
             _mega_point(base, num_clients, transactions)
             for num_clients in mega
         ]
+    if timeline_shards >= 2:
+        # few reader transactions on purpose: the section probes the
+        # regime where the per-shard timeline recomputation dominates
+        out["timeline"] = bench_timeline(
+            shards=timeline_shards,
+            clients=timeline_clients,
+            variant_clients=timeline_variant_clients,
+            seed=seed,
+        )
     if include_defaults:
         # the honest counterpoint: Table 1's sparse default layout, where
         # few clients share a slot and coalescing buys much less
@@ -566,6 +706,7 @@ def bench_scaling(
         point["speedup"] = round(
             point["process_seconds"] / point["cohort_seconds"], 2
         )
+        point.update(_max_rss_kb())
         out["table1_defaults"] = point
     return out
 
@@ -627,7 +768,9 @@ def run_bench(
     if "scaling" in sections:
         if smoke:
             # one sharded mega point (16384 clients, 2 shards) rides the
-            # smoke run so CI gets a metric-identity verdict per commit
+            # smoke run so CI gets a metric-identity verdict per commit,
+            # and a small timeline point (2 shards) gets CI a
+            # recompute-vs-replay identity + cache-hit verdict too
             run["scaling"] = bench_scaling(
                 clients=(8, 64),
                 transactions=2,
@@ -635,6 +778,9 @@ def run_bench(
                 trials=1,
                 include_defaults=False,
                 mega=(16_384,),
+                timeline_shards=2,
+                timeline_clients=256,
+                timeline_variant_clients=128,
             )
         else:
             run["scaling"] = bench_scaling(seed=seed)
@@ -808,6 +954,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 line += f"cohort {point['cohort_seconds']:>8.3f}s  "
             line += f"identical={point['metrics_identical']}"
             print(line)
+        timeline = scaling.get("timeline")
+        if timeline:
+            print(
+                f"  timeline {timeline['clients']:>5} clients x"
+                f"{timeline['shards']} shards  "
+                f"recompute {timeline['recompute_seconds']:>7.3f}s  "
+                f"replay {timeline['replay_seconds']:>7.3f}s "
+                f"({timeline['replay_speedup']:.2f}x)  "
+                f"cached {timeline['cached_replay_seconds']:>7.3f}s "
+                f"({timeline['cached_replay_speedup']:.2f}x)  "
+                f"identical={timeline['metrics_identical']}  "
+                f"cache hits={timeline['cache']['hits']}"
+            )
         if "table1_defaults" in scaling:
             point = scaling["table1_defaults"]
             print(

@@ -1,5 +1,15 @@
 """Discrete-event simulation of the broadcast-disk system (Sec. 4 setup)."""
 
+from .arena import (
+    TIMELINE_CACHE,
+    TimelineArena,
+    TimelineCache,
+    TimelineExhausted,
+    TimelineHandle,
+    TimelineView,
+    timeline_cacheable,
+    timeline_fingerprint,
+)
 from .batch import ReplicatedResult, replicate, replication_seeds
 from .cohort import CohortClient, CohortExecutor
 from .config import KILOBYTE_BITS, SimulationConfig
@@ -12,7 +22,7 @@ from .metrics import (
     batch_means,
     summarize,
 )
-from .shard import reader_slices, run_sharded
+from .shard import ShardExecutionError, reader_slices, run_sharded
 from .simulation import (
     BroadcastSimulation,
     ShardSlice,
@@ -43,6 +53,15 @@ __all__ = [
     "ShardSlice",
     "run_sharded",
     "reader_slices",
+    "ShardExecutionError",
+    "TimelineArena",
+    "TimelineHandle",
+    "TimelineView",
+    "TimelineExhausted",
+    "TimelineCache",
+    "TIMELINE_CACHE",
+    "timeline_cacheable",
+    "timeline_fingerprint",
     "CohortClient",
     "CohortExecutor",
     "TraceRecorder",

@@ -53,6 +53,7 @@ from .cohort import CohortClient, CohortExecutor
 from .engine import Simulator
 
 if TYPE_CHECKING:
+    from .arena import TimelineView
     from .simulation import BroadcastSimulation
 
 __all__ = ["run_analytic"]
@@ -108,9 +109,24 @@ def run_analytic(
     if simulation.trace is not None:
         raise ValueError("the analytical tier records no trace")
     state = simulation.state
-    state.record_images = {}
     sim = simulation.sim
     sl = simulation.slice
+
+    view = simulation.timeline_view
+    if view is not None:
+        # replay shard: the timeline already happened (a sealed arena) —
+        # there is no Phase A at all, just Phase B against the arena.
+        # Reading past the arena's horizon raises TimelineExhausted,
+        # which the shard layer turns into a recompute fallback.
+        sim_time = 0.0
+        for k in range(sl.reader_lo, sl.reader_hi):
+            done = _replay_reader(simulation, view, k)
+            if done > sim_time:
+                sim_time = done
+        return sim_time, sim.events_processed
+
+    if state.record_images is None:
+        state.record_images = {}
     simulation.spawn_timeline()
 
     # Phase A: drive the shared timeline until every update-capable
@@ -163,7 +179,9 @@ def run_analytic(
 
 
 def _replay_reader(
-    simulation: "BroadcastSimulation", timeline: _Timeline, k: int
+    simulation: "BroadcastSimulation",
+    timeline: "_Timeline | TimelineView",
+    k: int,
 ) -> float:
     """Fast-forward read-only client ``k``; returns its finish time.
 

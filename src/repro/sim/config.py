@@ -69,6 +69,11 @@ class SimulationConfig:
     #: partition the read-only population over N sharded simulations
     #: (docs/PERFORMANCE.md §5); 1 = single in-process run
     shards: int = 1
+    #: "recompute" — every shard derives the authoritative timeline from
+    #: the shared seeds (docs/PERFORMANCE.md §5); "replay" — one recording
+    #: pass seals the timeline into a shared-memory arena and the other
+    #: shards replay it zero-copy (§6); bit-identical either way
+    timeline_mode: str = "recompute"
     #: only clients with id < N ever draw update transactions; None means
     #: every client may (the pre-existing behaviour).  Sharded or analytic
     #: runs with updates require an explicit bound so the read-only
@@ -223,6 +228,20 @@ class SimulationConfig:
                     "with client_update_fraction > 0 set num_update_clients "
                     "so the update population is bounded (those clients run "
                     "event-driven under the cohort executor)"
+                )
+        if self.timeline_mode not in ("recompute", "replay"):
+            raise ValueError("timeline_mode must be 'recompute' or 'replay'")
+        if self.timeline_mode == "replay":
+            if self.audit:
+                raise ValueError(
+                    "audit runs replay a recorded trace of their own run; "
+                    "use timeline_mode='recompute'"
+                )
+            if self.client_update_fraction > 0.0 and self.num_update_clients is None:
+                raise ValueError(
+                    "timeline replay partitions the read-only population; "
+                    "with client_update_fraction > 0 set num_update_clients "
+                    "so the recording pass owns a bounded update population"
                 )
         if self.shards > 1:
             if self.client_executor == "process":

@@ -274,6 +274,19 @@ class FaultRuntime:
         )
 
     # -- server outages -------------------------------------------------
+    def preload_outages(self, outages: Sequence[Tuple[float, float]]) -> None:
+        """Install the complete outage history up front (replay shards).
+
+        A replay shard hosts no crash process — the dead air is already
+        baked into the arena's recorded timeline — but its *readers*
+        still lose slots that overlap an outage.  Crash windows are plan
+        data (``[crash.time, crash.time + downtime]``), so the replay
+        runtime starts with every outage closed; ``slot_heard`` then
+        makes exactly the live run's decisions without ``server_down``
+        ever being raised.
+        """
+        self._outages = list(outages)
+
     def begin_outage(self, time: float) -> None:
         self.server_down = True
         self._outage_start = time

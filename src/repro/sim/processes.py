@@ -40,7 +40,8 @@ from .engine import Simulator, Timeout, WaitUntil
 from .metrics import MetricsCollector
 from .trace import TraceRecorder
 
-if TYPE_CHECKING:  # type-only: faults imports engine, never processes
+if TYPE_CHECKING:  # type-only: faults/arena import engine, never processes
+    from .arena import TimelineView
     from .faults import FaultRuntime
 
 __all__ = ["SharedState", "cycle_process", "server_process", "client_process"]
@@ -66,10 +67,14 @@ class SharedState:
     #: the processes below is guarded on it, so fault-free event sequences
     #: are untouched
     faults: Optional["FaultRuntime"] = None
-    #: when set (the analytical tier), every installed broadcast image is
-    #: retained here by cycle number, so replays can read arbitrarily far
-    #: behind the live pair
+    #: when set (the analytical tier and the arena recording pass), every
+    #: installed broadcast image is retained here by cycle number, so
+    #: replays can read arbitrarily far behind the live pair
     record_images: Optional[Dict[int, BroadcastCycle]] = None
+    #: when set (a replay shard), broadcast images come from a sealed
+    #: timeline arena instead of live cycle/server processes — the shard
+    #: hosts no timeline at all (docs/PERFORMANCE.md §6)
+    timeline: Optional["TimelineView"] = None
 
     @property
     def all_clients_done(self) -> bool:
@@ -88,6 +93,8 @@ class SharedState:
         which instant the next image has already been installed — hence
         the previous image is retained one cycle.
         """
+        if self.timeline is not None:
+            return self.timeline.broadcast(cycle)
         for candidate in (self.current_broadcast, self.previous_broadcast):
             if candidate is not None and candidate.cycle == cycle:
                 return candidate

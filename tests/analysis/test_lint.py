@@ -61,6 +61,12 @@ __all__ = []
 def snapshot(self):
     return [c.state for c in self.clients]
 ''',
+    "REP009": '''\
+__all__ = []
+
+def fan_out(pool, simulation):
+    return pool.submit(run_one, simulation)
+''',
 }
 
 
@@ -281,6 +287,60 @@ class TestRules:
             "    return [m for m in members]  # rep: allow-client-loop\n",
         )
         assert lint_file(path) == []
+
+    def test_rep009_applies_to_the_whole_tree(self):
+        pickling = next(r for r in RULES if r.rule_id == "REP009")
+        assert pickling.applies_to("src/repro/sim/shard.py")
+        assert pickling.applies_to("src/repro/sim/batch.py")
+        assert pickling.applies_to("src/repro/experiments/sweeps.py")
+        assert pickling.applies_to("tests/analysis/fixture.py")
+
+    def test_rep009_configs_and_handles_may_cross(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "clean_boundary.py",
+            "__all__ = []\n\n\ndef fan_out(pool, config, handle, jobs):\n"
+            "    futures = [pool.submit(run_one, (config, handle))]\n"
+            "    return futures, list(pool.map(run_one, jobs))\n",
+        )
+        findings = [f for f in lint_file(path) if f.rule == "REP009"]
+        assert findings == []
+
+    def test_rep009_catches_state_inside_containers(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "smuggled.py",
+            "__all__ = []\nimport pickle\n\n\n"
+            "def ship(self, pool, config):\n"
+            "    pool.submit(run_one, (config, self.server))\n"
+            "    return pickle.dumps(self.state)\n",
+        )
+        findings = [f for f in lint_file(path) if f.rule == "REP009"]
+        assert len(findings) == 2
+        assert "server" in findings[0].message
+        assert "state" in findings[1].message
+
+    def test_rep009_catches_stateful_class_names(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "classcross.py",
+            "__all__ = []\n\n\ndef ship(pool, config):\n"
+            "    return pool.submit(run_one, BroadcastSimulation(config))\n",
+        )
+        findings = [f for f in lint_file(path) if f.rule == "REP009"]
+        assert len(findings) == 1
+        assert "BroadcastSimulation" in findings[0].message
+
+    def test_allow_pickle_escape(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "allowed_pickle.py",
+            "__all__ = []\nimport pickle\n\n\n"
+            "def archive(server):\n"
+            "    # rep: allow-pickle — quiesced, run already finished\n"
+            "    return pickle.dumps(server)\n",
+        )
+        assert [f for f in lint_file(path) if f.rule == "REP009"] == []
 
 
 class TestDriver:

@@ -156,8 +156,8 @@ class TestMetricsCollector:
 
 
 class TestMergeFrom:
-    def _filled(self, tids, counter_bump=0):
-        m = MetricsCollector()
+    def _filled(self, tids, counter_bump=0, keep_samples=True):
+        m = MetricsCollector(keep_samples=keep_samples)
         for k, tid in enumerate(tids):
             m.record_commit(tid, k * 10.0, k * 10.0 + 5.0, k)
         m.reads_delivered = counter_bump
@@ -209,3 +209,59 @@ class TestMergeFrom:
         a = self._filled(["a0"], counter_bump=2)
         a.merge_from(MetricsCollector())
         assert a.commit_count == 1 and a.reads_delivered == 2
+
+    # -- mixed keep_samples: the sharded mega-runs' merge shape --------
+    # The primary keeps samples while worker shards ship sample-free
+    # collectors (or vice versa when the parent runs lean); merging
+    # across the flag must combine the array accumulators identically
+    # and leave each side's own sample-cache policy in force.
+
+    def test_merge_sample_free_donor_into_keeping_target(self):
+        a = self._filled(["a0", "a1"], counter_bump=3)
+        b = self._filled(
+            ["b0", "b1", "b2"], counter_bump=4, keep_samples=False
+        )
+        a.merge_from(b)
+        assert a.keep_samples is True
+        assert a.reads_delivered == 7 and a.listening_bits == 7.0
+        assert [s.tid for s in a.samples] == ["a0", "a1", "b0", "b1", "b2"]
+        # the target still caches: repeated access returns the same list
+        assert a.samples is a.samples
+        # the donor's own policy is untouched
+        assert b.keep_samples is False and b._samples_cache is None
+
+    def test_merge_keeping_donor_into_sample_free_target(self):
+        a = self._filled(["a0", "a1"], counter_bump=3, keep_samples=False)
+        b = self._filled(["b0", "b1", "b2"], counter_bump=4)
+        b.samples  # populate the donor's cache before the merge
+        a.merge_from(b)
+        assert a.keep_samples is False
+        assert a.commit_count == 5 and a.reads_delivered == 7
+        assert [s.tid for s in a.samples] == ["a0", "a1", "b0", "b1", "b2"]
+        # the target never caches, even after absorbing a caching donor
+        assert a._samples_cache is None
+        assert a.samples is not a.samples
+        # the donor keeps its (pre-merge) cache and contents
+        assert b._samples_cache is not None and b.commit_count == 3
+
+    def test_mixed_merge_array_statistics_flag_independent(self):
+        """Both directions yield identical array-backed statistics."""
+        kept = self._filled(["a0", "a1"], counter_bump=3)
+        kept.merge_from(
+            self._filled(["b0", "b1", "b2"], counter_bump=4, keep_samples=False)
+        )
+        lean = self._filled(["a0", "a1"], counter_bump=3, keep_samples=False)
+        lean.merge_from(self._filled(["b0", "b1", "b2"], counter_bump=4))
+        assert kept.response_time(1.0) == lean.response_time(1.0)
+        assert kept.restart_ratio(1.0) == lean.restart_ratio(1.0)
+        assert kept.response_time(0.5) == lean.response_time(0.5)
+        for name in MetricsCollector._COUNTER_FIELDS:
+            assert getattr(kept, name) == getattr(lean, name)
+
+    def test_merge_invalidates_stale_sample_cache(self):
+        a = self._filled(["a0", "a1"])
+        before = a.samples
+        assert a._samples_cache is before
+        a.merge_from(self._filled(["b0"], keep_samples=False))
+        assert a._samples_cache is None  # merge dropped the stale cache
+        assert [s.tid for s in a.samples] == ["a0", "a1", "b0"]

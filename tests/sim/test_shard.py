@@ -14,7 +14,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import (
+    TIMELINE_CACHE,
     MetricsCollector,
+    ShardExecutionError,
     SimulationConfig,
     reader_slices,
     run_sharded,
@@ -100,6 +102,132 @@ def test_run_simulation_dispatches_on_shards():
     assert signature(run_simulation(base)) == signature(
         run_simulation(base.replace(shards=1))
     )
+
+
+# ----------------------------------------------------------------------
+# timeline replay: record once, replay everywhere, bit for bit
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    shards=st.sampled_from([1, 2, 3, 8]),
+    protocol=st.sampled_from(["f-matrix", "r-matrix", "datacycle"]),
+    executor=st.sampled_from(["cohort", "analytic"]),
+    mixed=st.booleans(),
+)
+def test_replay_sharded_equals_unsharded(seed, shards, protocol, executor, mixed):
+    """The tentpole gate: arena replay is invisible to every observable.
+
+    Cache interference across examples is intentional — a cacheable
+    example may hit an arena stored by an earlier one, and bit-identity
+    must hold either way.
+    """
+    workload = (
+        dict(client_update_fraction=0.3, num_update_clients=3) if mixed else {}
+    )
+    base = small_config(seed=seed, protocol=protocol, **workload)
+    oracle = signature(run_simulation(base))
+    replayed = run_sharded(
+        base.replace(
+            client_executor=executor, shards=shards, timeline_mode="replay"
+        ),
+        workers=0,
+    )
+    assert signature(replayed) == oracle
+    assert replayed.timeline_stats["mode"] == "replay"
+
+
+def test_replay_with_real_process_pool():
+    base = small_config(seed=5, protocol="f-matrix")
+    oracle = signature(run_simulation(base))
+    pooled = run_sharded(
+        base.replace(client_executor="cohort", shards=3, timeline_mode="replay"),
+        workers=2,
+    )
+    assert signature(pooled) == oracle
+    assert pooled.timeline_stats["shards"] == 3
+
+
+def test_replay_cache_hit_reuses_the_timeline_across_runs():
+    TIMELINE_CACHE.clear()
+    base = small_config(
+        seed=11, client_executor="cohort", shards=2, timeline_mode="replay"
+    )
+    first = run_sharded(base, workers=0)
+    assert first.timeline_stats["cache_hit"] is False
+    # a client-side variation keeps the server fingerprint, so the
+    # second run replays everything — primary included — from cache
+    varied = base.replace(num_clients=12)
+    hit = run_sharded(varied, workers=0)
+    assert hit.timeline_stats["cache_hit"] is True
+    assert hit.server is None  # no live broadcast pass ran at all
+    oracle = signature(run_simulation(small_config(seed=11, num_clients=12)))
+    assert signature(hit) == oracle
+    assert TIMELINE_CACHE.stats.hits >= 1
+
+
+def test_replay_cache_discards_on_horizon_overrun():
+    TIMELINE_CACHE.clear()
+    base = small_config(
+        seed=29, client_executor="cohort", shards=2, timeline_mode="replay"
+    )
+    run_sharded(base, workers=0)  # seeds the cache with a short horizon
+    longer = base.replace(num_client_transactions=12)
+    oracle = signature(
+        run_simulation(small_config(seed=29, num_client_transactions=12))
+    )
+    rerecorded = run_sharded(longer, workers=0)
+    assert signature(rerecorded) == oracle
+    # the cached arena could not cover the longer run: it was dropped
+    # and the run fell back to a fresh recording pass
+    assert rerecorded.timeline_stats["cache_hit"] is False
+    assert TIMELINE_CACHE.stats.horizon_discards == 1
+
+
+def test_replay_with_updaters_is_never_cached():
+    TIMELINE_CACHE.clear()
+    base = small_config(
+        seed=3, client_update_fraction=0.3, num_update_clients=3
+    )
+    oracle = signature(run_simulation(base))
+    replayed = run_sharded(
+        base.replace(
+            client_executor="cohort", shards=2, timeline_mode="replay"
+        ),
+        workers=0,
+    )
+    assert signature(replayed) == oracle
+    assert replayed.timeline_stats["cache_hit"] is False
+    assert len(TIMELINE_CACHE) == 0  # update-laden timelines never cached
+
+
+# ----------------------------------------------------------------------
+# worker failures carry shard context
+# ----------------------------------------------------------------------
+
+
+def test_worker_failure_carries_shard_context(monkeypatch):
+    import repro.sim.shard as shard_mod
+
+    def boom(job):
+        raise RuntimeError("worker exploded")
+
+    monkeypatch.setattr(shard_mod, "_run_shard", boom)
+    config = small_config(client_executor="cohort", shards=3)
+    slices = reader_slices(config)
+    with pytest.raises(ShardExecutionError) as excinfo:
+        run_sharded(config, workers=0)
+    err = excinfo.value
+    assert err.shard_index == 1
+    assert (err.reader_lo, err.reader_hi) == (
+        slices[1].reader_lo,
+        slices[1].reader_hi,
+    )
+    assert "readers [" in str(err)
+    assert "worker exploded" in str(err)
+    assert isinstance(err.__cause__, RuntimeError)
 
 
 # ----------------------------------------------------------------------
