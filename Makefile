@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint typecheck audit bench-smoke faults-smoke consistency-smoke
+.PHONY: check test lint typecheck audit bench-smoke faults-smoke consistency-smoke obs-smoke
 
 check: test lint typecheck
 
@@ -46,6 +46,17 @@ bench-smoke:
 faults-smoke:
 	$(PYTHON) -m repro.experiments.cli faults --transactions 40 \
 		--seed 42 --output faults-smoke.json
+
+# observability smoke (docs/OBSERVABILITY.md): one traced faulted
+# 2-shard replay-mode run producing a Perfetto-loadable Chrome trace
+# (obs-trace.json) whose span counts reconcile with the metrics, plus a
+# traced-vs-untraced wall-clock comparison (obs-overhead.json).  The
+# overhead bound is checked warn-only in CI.
+obs-smoke:
+	$(PYTHON) -m repro.obs.trace_cli run --out obs-trace.json --summary
+	$(PYTHON) -m repro.obs.trace_cli summarize obs-trace.json
+	$(PYTHON) -m repro.obs.trace_cli overhead --repeats 3 \
+		--output obs-overhead.json
 
 # consistency smoke (docs/ANALYSIS.md "Consistency levels"): the
 # small-scope model checker exhaustively sweeps the smallest scope for

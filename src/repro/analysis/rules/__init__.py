@@ -10,6 +10,7 @@ from __future__ import annotations
 from .allocation import NoHotLoopAllocationRule
 from .base import RULES, Finding, LintRule, ModuleUnderLint, register
 from .determinism import (
+    NoSideChannelOutputRule,
     NoUnseededRandomAnywhereRule,
     NoUnseededRandomRule,
     NoWallClockRule,
@@ -29,6 +30,7 @@ __all__ = [
     "NoWallClockRule",
     "NoUnseededRandomRule",
     "NoUnseededRandomAnywhereRule",
+    "NoSideChannelOutputRule",
     "NoForeignPrivateMutationRule",
     "NoFloatEqualityRule",
     "MandatoryAllRule",

@@ -24,9 +24,11 @@ __all__ = [
     "NoWallClockRule",
     "NoUnseededRandomRule",
     "NoUnseededRandomAnywhereRule",
+    "NoSideChannelOutputRule",
 ]
 
 _ALLOW_UNSEEDED = re.compile(r"#\s*rep:\s*allow-unseeded\b")
+_ALLOW_WALLCLOCK = re.compile(r"#\s*rep:\s*allow-wallclock\b")
 
 _WALLCLOCK_TIME_ATTRS = {
     "time",
@@ -193,3 +195,54 @@ class NoUnseededRandomAnywhereRule(NoUnseededRandomRule):
         for finding in super().check(module):
             if finding.line not in allowed:
                 yield finding
+
+
+@register
+class NoSideChannelOutputRule(NoWallClockRule):
+    """Observability goes through ``repro.obs``, nowhere else.
+
+    PR 9 gave the simulator a sanctioned observability layer: spans via
+    the ``Tracer`` handle, tallies via ``MetricsCollector`` / the
+    telemetry registry, wall-clock phase timing via ``PhaseProfiler``
+    (which lives in ``repro/obs/`` and is therefore outside this rule's
+    scope).  Ad-hoc ``print()`` debugging or direct wall-clock reads in
+    the simulation kernel or the server are side channels around it —
+    prints corrupt CLI/bench output that tests parse, and wall-clock
+    reads break bit-reproducibility (REP001's concern, extended here to
+    ``repro/server/``).  Deliberate exceptions are acknowledged with a
+    ``# rep: allow-wallclock`` comment on the offending line.
+    """
+
+    rule_id = "REP010"
+    description = (
+        "no print() or wall-clock reads inside repro/sim or repro/server: "
+        "emit spans/metrics via repro.obs (PhaseProfiler owns the wall "
+        "clock); mark deliberate exceptions `# rep: allow-wallclock`"
+    )
+    scopes = ("repro/sim/", "repro/server/")
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        allowed = {
+            lineno
+            for lineno, line in enumerate(module.source.splitlines(), start=1)
+            if _ALLOW_WALLCLOCK.search(line)
+        }
+        for finding in self._raw_findings(module):
+            if finding.line not in allowed:
+                yield finding
+
+    def _raw_findings(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        yield from super().check(module)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "print() in the simulation/server layer is a side "
+                    "channel around repro.obs; emit a span or a metric "
+                    "instead",
+                )

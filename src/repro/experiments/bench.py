@@ -591,6 +591,10 @@ def bench_timeline(
     out["cached_replay_speedup"] = round(recompute_seconds / cached_seconds, 2)
     out["replay_stats"] = replay.timeline_stats
     out["cached_replay_stats"] = cached.timeline_stats
+    # wall-clock phase breakdown (PhaseProfiler): where the seconds went
+    out["recompute_profile"] = recompute.profile
+    out["replay_profile"] = replay.profile
+    out["cached_replay_profile"] = cached.profile
     out["variant"] = {
         "clients": variant_clients,
         "seconds": round(variant_seconds, 4),
@@ -965,8 +969,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"cached {timeline['cached_replay_seconds']:>7.3f}s "
                 f"({timeline['cached_replay_speedup']:.2f}x)  "
                 f"identical={timeline['metrics_identical']}  "
-                f"cache hits={timeline['cache']['hits']}"
+                f"cache hits={timeline['cache']['hits']} "
+                f"misses={timeline['cache']['misses']} "
+                f"stores={timeline['cache']['stores']}"
             )
+            profile = timeline.get("replay_profile")
+            if profile:
+                phases = "  ".join(
+                    f"{name}={seconds:.3f}s" for name, seconds in profile.items()
+                )
+                print(f"  timeline replay phases: {phases}")
         if "table1_defaults" in scaling:
             point = scaling["table1_defaults"]
             print(

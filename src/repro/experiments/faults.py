@@ -141,7 +141,7 @@ def run_faults_report(
         summaries.append(
             FaultRunSummary(
                 protocol=protocol,
-                commits=len(metrics.samples),
+                commits=metrics.commit_count,
                 cycles=result.server.current_cycle,
                 abort_causes=metrics.abort_causes,
                 doze_slots_missed=metrics.doze_slots_missed,

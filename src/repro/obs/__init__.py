@@ -1,0 +1,39 @@
+"""Deterministic observability: spans, telemetry registry, exporters.
+
+The obs layer sits *outside* the deterministic simulation core in one
+direction only: simulation code may emit sim-time-stamped spans into a
+:class:`~repro.obs.tracer.Tracer`, but nothing in obs feeds back into
+simulation behaviour.  Disabled tracing uses the :data:`NULL_TRACER`
+singleton whose ``enabled`` flag short-circuits every hot-path guard, so
+untraced runs stay bit-identical and allocation-free.
+
+Wall-clock phase timing (:class:`~repro.obs.profiler.PhaseProfiler`)
+lives here precisely because it is *not* deterministic; the REP010 lint
+rule bans wall-clock reads inside ``repro/sim`` and ``repro/server``,
+and this package is the sanctioned home for them.
+"""
+
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer, canonical_spans
+from .registry import TelemetryRegistry, registry_from_result
+from .profiler import PhaseProfiler
+from .export import (
+    chrome_trace,
+    spans_to_jsonl,
+    summarize_spans,
+    summarize_trace_events,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseProfiler",
+    "Span",
+    "TelemetryRegistry",
+    "Tracer",
+    "canonical_spans",
+    "chrome_trace",
+    "registry_from_result",
+    "spans_to_jsonl",
+    "summarize_spans",
+    "summarize_trace_events",
+]

@@ -155,6 +155,7 @@ def run_analytic(
             metrics=simulation._timeline_metrics,
             clients=cohort,
             trace=None,
+            tracer=simulation.state.tracer,
         ).start()
         sim.run(
             stop_when=lambda: state.clients_done >= updaters,
@@ -194,6 +195,8 @@ def _replay_reader(
     config = simulation.config
     metrics = simulation.metrics
     layout = simulation.layout
+    tracer = simulation.tracer
+    tracer_enabled = tracer.enabled
     workload = simulation.workload_for(k)
     validator = simulation.validator_for(k)
     rng = simulation.rng_for(k)
@@ -222,6 +225,7 @@ def _replay_reader(
         submit_time = t
         restarts = 0
         while True:  # attempts
+            attempt_start = t
             first = True
             committed = True
             while not runtime.is_done:
@@ -268,21 +272,30 @@ def _replay_reader(
                     metrics.reads_delivered += 1
                 else:
                     metrics.reads_rejected += 1
-                    metrics.record_abort(
-                        "staleness" if outcome.stale else "conflict"
-                    )
+                    cause = "staleness" if outcome.stale else "conflict"
+                    metrics.record_abort(cause)
                     if cache is not None:
                         cache.evict(outcome.obj)
                         for read_obj, _cycle in runtime.reads:
                             cache.evict(read_obj)
+                    if tracer_enabled:
+                        tracer.emit(
+                            attempt_start, t, "client", k, "attempt", cause, tid
+                        )
                     committed = False
                     break
             if committed:
                 runtime.commit()
+                if tracer_enabled:
+                    tracer.emit(
+                        attempt_start, t, "client", k, "attempt", "ok", tid
+                    )
                 break
             restarts += 1
             runtime.restart()
             t += restart_delay
         metrics.record_commit(tid, submit_time, t, restarts)
+        if tracer_enabled:
+            tracer.emit(submit_time, t, "client", k, "txn", "ok", tid)
         t -= _log(1.0 - random_()) / txn_lambd
     return t

@@ -507,10 +507,15 @@ def timeline_cacheable(config: "SimulationConfig") -> bool:
     update-capable clients (their uplink submissions mutate the server,
     entangling the timeline with client-side parameters) and no fault
     plan (doze/uplink schedules are client-shaped, and crash bookkeeping
-    is interwoven with client metrics).
+    is interwoven with client metrics).  Traced runs are excluded too:
+    a cached arena carries no span stream, so an untraced run's entry
+    would hand a traced run a timeline with its cycle/server spans
+    silently missing.
     """
-    return config.update_capable_clients() == 0 and (
-        config.faults is None or config.faults.is_noop
+    return (
+        config.update_capable_clients() == 0
+        and (config.faults is None or config.faults.is_noop)
+        and not config.tracing
     )
 
 

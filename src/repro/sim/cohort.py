@@ -74,6 +74,7 @@ from ..core.validators import (
     validate_read_batch,
     validate_read_batch_inorder,
 )
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..server.server import BroadcastServer
 from .config import SimulationConfig
 from .engine import Simulator
@@ -101,6 +102,8 @@ class CohortClient:
         "is_update",
         "write_objs",
         "uplink_retries",
+        "attempt_start",
+        "uplink_start",
     )
 
     def __init__(
@@ -124,6 +127,10 @@ class CohortClient:
         self.is_update = False
         self.write_objs: List[int] = []
         self.uplink_retries = 0
+        # span bookkeeping; only maintained when the executor's tracer
+        # is enabled (guarded at every write site)
+        self.attempt_start = 0.0
+        self.uplink_start = 0.0
 
 
 class _Bucket:
@@ -154,6 +161,7 @@ class CohortExecutor:
         metrics: MetricsCollector,
         clients: Sequence[CohortClient],
         trace: Optional[TraceRecorder] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -162,6 +170,7 @@ class CohortExecutor:
         self.server = server
         self.metrics = metrics
         self.trace = trace
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.clients = list(clients)
         self.faults = state.faults
         #: the paper's max-cycles rejoin bound, active under modulo
@@ -265,6 +274,10 @@ class CohortExecutor:
         client.txn_len = len(client.runtime.objects)
         client.submit_time = submit_time
         client.restarts = 0
+        if self.tracer.enabled:
+            # the first attempt starts the instant the transaction is
+            # submitted (the per-process loop-top ``sim.now``)
+            client.attempt_start = submit_time
 
     def _complete_read_phase(
         self, client: CohortClient, at_time: float
@@ -295,6 +308,15 @@ class CohortExecutor:
         self.metrics.record_commit(
             runtime.tid, client.submit_time, commit_time, client.restarts
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                client.attempt_start, commit_time, "client", client.client_id,
+                "attempt", "ok", runtime.tid,
+            )
+            self.tracer.emit(
+                client.submit_time, commit_time, "client", client.client_id,
+                "txn", "ok", runtime.tid,
+            )
         if self.trace is not None:
             self.trace.record_session_commit(client.client_id, runtime.tid)
             if not client.is_update:
@@ -361,7 +383,8 @@ class CohortExecutor:
                     now, first = issue, False
             else:
                 metrics.reads_rejected += 1
-                metrics.record_abort("staleness" if outcome.stale else "conflict")
+                cause = "staleness" if outcome.stale else "conflict"
+                metrics.record_abort(cause)
                 assert cache is not None
                 cache.evict(outcome.obj)
                 for read_obj, _cycle in runtime.reads:
@@ -369,6 +392,12 @@ class CohortExecutor:
                 client.restarts += 1
                 runtime.restart()
                 now, first = issue + config.restart_delay, True
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        client.attempt_start, issue, "client", client.client_id,
+                        "attempt", cause, runtime.tid,
+                    )
+                    client.attempt_start = now
 
     # ------------------------------------------------------------------
     # the slot calendar
@@ -493,6 +522,8 @@ class CohortExecutor:
         restart_delay = config.restart_delay
         delay_first = config.delay_before_first_operation
         untraced = self.trace is None
+        tracer = self.tracer
+        tracer_enabled = tracer.enabled
         delivered = 0
         for ok, client in zip(ok_list, survivors):
             runtime = client.runtime  # never None for a bucketed client
@@ -514,6 +545,12 @@ class CohortExecutor:
                 else:
                     metrics.reads_rejected += 1
                     metrics.aborts_conflict += 1
+                    if tracer_enabled:
+                        tracer.emit(
+                            client.attempt_start, time, "client",
+                            client.client_id, "attempt", "conflict", runtime.tid,
+                        )
+                        client.attempt_start = time + restart_delay
                     client.restarts += 1
                     runtime.restart()
                     issue = time + restart_delay
@@ -557,6 +594,12 @@ class CohortExecutor:
                 runtime.aborted = True
                 metrics.reads_rejected += 1
                 metrics.aborts_conflict += 1
+                if tracer_enabled:
+                    tracer.emit(
+                        client.attempt_start, time, "client", client.client_id,
+                        "attempt", "conflict", runtime.tid,
+                    )
+                    client.attempt_start = time + restart_delay
                 if cache is not None:
                     cache.evict(obj)
                     for read_obj, _cycle in runtime.reads:
@@ -605,7 +648,14 @@ class CohortExecutor:
                     self._advance(client, time, first=False)
             else:
                 metrics.reads_rejected += 1
-                metrics.record_abort("staleness" if outcome.stale else "conflict")
+                cause = "staleness" if outcome.stale else "conflict"
+                metrics.record_abort(cause)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        client.attempt_start, time, "client", client.client_id,
+                        "attempt", cause, runtime.tid,
+                    )
+                    client.attempt_start = time + restart_delay
                 if cache is not None:
                     cache.evict(outcome.obj)
                     for read_obj, _cycle in runtime.reads:
@@ -632,6 +682,8 @@ class CohortExecutor:
         for write_obj in client.write_objs:
             runtime.write(write_obj, f"{runtime.tid}#{runtime.attempt}")
         client.uplink_retries = 0
+        if self.tracer.enabled:
+            client.uplink_start = read_done_time
         self.sim.schedule(
             read_done_time + self._half_rtt, partial(self._uplink_arrival, client)
         )
@@ -669,8 +721,18 @@ class CohortExecutor:
             if cause is not None:
                 if client.uplink_retries >= plan.uplink_max_retries:
                     metrics.record_abort(cause)
-                    self._restart_attempt(client, now)
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            client.uplink_start, now, "client", client.client_id,
+                            "uplink", cause, runtime.tid,
+                        )
+                    self._restart_attempt(client, now, cause)
                     return
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        now, now, "client", client.client_id,
+                        "uplink.retry", cause, runtime.tid,
+                    )
                 # wait out the verdict timeout, back off, resubmit
                 delay = plan.uplink_timeout * plan.uplink_backoff**client.uplink_retries
                 client.uplink_retries += 1
@@ -684,20 +746,38 @@ class CohortExecutor:
         verdict_time = now + self._half_rtt
         if outcome.committed:
             metrics.client_updates_committed += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    client.uplink_start, verdict_time, "client",
+                    client.client_id, "uplink", "ok", runtime.tid,
+                )
             start_time = self._finish_txn(client, verdict_time)
             if start_time is not None:
                 self._advance(client, start_time, first=True)
         else:
             metrics.client_updates_rejected += 1
             metrics.record_abort("conflict")
-            self._restart_attempt(client, verdict_time)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    client.uplink_start, verdict_time, "client",
+                    client.client_id, "uplink", "conflict", runtime.tid,
+                )
+            self._restart_attempt(client, verdict_time, "conflict")
         self._flush_schedules()
 
-    def _restart_attempt(self, client: CohortClient, at_time: float) -> None:
+    def _restart_attempt(
+        self, client: CohortClient, at_time: float, cause: str
+    ) -> None:
         """A failed update attempt restarts its read phase from scratch."""
         client.restarts += 1
         runtime = client.runtime
         assert runtime is not None
+        if self.tracer.enabled:
+            self.tracer.emit(
+                client.attempt_start, at_time, "client", client.client_id,
+                "attempt", cause, runtime.tid,
+            )
+            client.attempt_start = at_time + self.config.restart_delay
         runtime.restart()
         self._advance(client, at_time + self.config.restart_delay, first=True)
         self._flush_schedules()

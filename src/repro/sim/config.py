@@ -132,6 +132,15 @@ class SimulationConfig:
     #: invariant auditor (:mod:`repro.analysis`) after the run
     audit: bool = False
 
+    # -- observability (docs/OBSERVABILITY.md) ------------------------------
+    #: emit sim-time lifecycle spans (attempts, uplink round-trips,
+    #: cycles, crashes) into a bounded ring buffer; off by default so
+    #: untraced runs stay bit-identical and allocation-free
+    tracing: bool = False
+    #: span ring-buffer capacity per tracer (oldest spans overwritten
+    #: beyond this, counted in ``SimulationResult.spans_dropped``)
+    trace_buffer: int = 1 << 20
+
     # ----------------------------------------------------------------
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOL_NAMES:
@@ -229,6 +238,8 @@ class SimulationConfig:
                     "so the update population is bounded (those clients run "
                     "event-driven under the cohort executor)"
                 )
+        if self.trace_buffer < 1:
+            raise ValueError("trace_buffer must be >= 1")
         if self.timeline_mode not in ("recompute", "replay"):
             raise ValueError("timeline_mode must be 'recompute' or 'replay'")
         if self.timeline_mode == "replay":

@@ -375,12 +375,14 @@ def crash_process(
     """
     faults = state.faults
     assert faults is not None
+    tracer = state.tracer
     for crash in faults.plan.crashes:
         yield WaitUntil(crash.time)
         # volatile state dies here; only the database's log + cycle mark
         # survive (snapshotted before anything else can touch them)
         durable_log = server.database.commit_log
         durable_cycle = server.database.last_broadcast_cycle
+        crash_start = sim.now
         faults.begin_outage(sim.now)
         yield Timeout(crash.downtime)
         revived = recover_server(
@@ -397,14 +399,41 @@ def crash_process(
         # lines up with wall-clock broadcast time again
         current = layout.cycle_of(sim.now)
         replayed = None
+        replayed_count = 0
         for cycle in range(durable_cycle + 1, current + 1):
             replayed = revived.begin_cycle(cycle)
             metrics.quiescent_replay_cycles += 1
+            replayed_count += 1
         server.restore_from(revived)
         if replayed is not None:
             # the in-progress cycle's image: clients whose slots end
             # after the recovery read from it
             state.advance(replayed)
+            metrics.cycles_broadcast += 1
+            if tracer.enabled:
+                # the re-issued image goes on air *now*, mid-cycle: the
+                # span starts at the recovery instant (the same time the
+                # counter increment is journalled at) and runs to the
+                # boundary the image nominally covers
+                tracer.emit(
+                    sim.now,
+                    replayed.cycle * layout.cycle_bits,
+                    "timeline",
+                    0,
+                    "cycle",
+                    "ok",
+                    str(replayed.cycle),
+                )
             if trace is not None and trace.record_cycles:
                 trace.record_cycle(replayed)
         faults.end_outage(sim.now)
+        if tracer.enabled:
+            tracer.emit(
+                crash_start,
+                sim.now,
+                "timeline",
+                2,
+                "crash",
+                "ok",
+                f"replayed={replayed_count}",
+            )

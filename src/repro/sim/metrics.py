@@ -150,6 +150,7 @@ class MetricsCollector:
         "uplink_losses",
         "uplink_crash_losses",
         "uplink_retries",
+        "cycles_broadcast",
     )
 
     def __init__(self, keep_samples: bool = True):
@@ -200,6 +201,11 @@ class MetricsCollector:
         self.uplink_crash_losses = 0
         #: resubmissions after a declared uplink loss
         self.uplink_retries = 0
+        #: broadcast images installed on the air: fresh cycle boundaries
+        #: plus the in-progress cycle re-issued at crash recovery
+        #: (quiescent replays that never air count only in
+        #: :attr:`quiescent_replay_cycles`)
+        self.cycles_broadcast = 0
 
     # ------------------------------------------------------------------
     def record_abort(self, cause: str) -> None:
@@ -290,6 +296,13 @@ class MetricsCollector:
         recorded (the accumulators are append-only, so a cache of the
         right length is current by construction).
         """
+        if not self.keep_samples:
+            raise ValueError(
+                "per-transaction samples are unavailable: this collector "
+                "was created with keep_samples=False; use commit_count / "
+                "response_time() / restart_ratio() (array-backed), or "
+                "construct with keep_samples=True"
+            )
         cache = self._samples_cache
         count = self._count
         if cache is None or len(cache) != count:

@@ -33,6 +33,7 @@ from ..broadcast.program import BroadcastCycle
 from ..client.cache import QuasiCache
 from ..client.runtime import ClientUpdateTransactionRuntime, ReadOnlyTransactionRuntime
 from ..core.validators import ReadValidator
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..server.server import BroadcastServer
 from ..server.workload import ClientWorkload, ServerWorkload
 from .config import SimulationConfig
@@ -75,6 +76,11 @@ class SharedState:
     #: timeline arena instead of live cycle/server processes — the shard
     #: hosts no timeline at all (docs/PERFORMANCE.md §6)
     timeline: Optional["TimelineView"] = None
+    #: span sink for the timeline-side processes (cycle/server/crash);
+    #: the no-op singleton unless tracing is on *and* this shard owns
+    #: the timeline (exactly one primary emits timeline spans, mirroring
+    #: the primary-only timeline-metrics rule)
+    tracer: Tracer = NULL_TRACER
 
     @property
     def all_clients_done(self) -> bool:
@@ -107,11 +113,13 @@ def cycle_process(
     layout: FlatLayout,
     state: SharedState,
     trace: Optional[TraceRecorder] = None,
+    metrics: Optional[MetricsCollector] = None,
 ) -> "SimEvents":
     """Freeze and 'transmit' one broadcast image per cycle, forever."""
     cycle = 0
     # the events are immutable descriptors: one instance serves every cycle
     cycle_tick = Timeout(layout.cycle_bits)
+    tracer = state.tracer
     while True:
         cycle += 1
         faults = state.faults
@@ -125,6 +133,18 @@ def cycle_process(
             continue
         broadcast = server.begin_cycle(cycle)
         state.advance(broadcast)
+        if metrics is not None:
+            metrics.cycles_broadcast += 1
+        if tracer.enabled:
+            tracer.emit(
+                sim.now,
+                sim.now + layout.cycle_bits,
+                "timeline",
+                0,
+                "cycle",
+                "ok",
+                str(cycle),
+            )
         if trace is not None and trace.record_cycles:
             trace.record_cycle(broadcast)
         yield cycle_tick
@@ -143,6 +163,7 @@ def server_process(
     """Complete server update transactions at the configured rate."""
     deterministic = config.server_interval_distribution == "deterministic"
     faults = state.faults if state is not None else None
+    tracer = state.tracer if state is not None else NULL_TRACER
     while True:
         if deterministic:
             gap = config.server_txn_interval
@@ -153,6 +174,10 @@ def server_process(
         if faults is not None and faults.server_down:
             # the completion evaporates with the crashed server
             metrics.server_txns_lost += 1
+            if tracer.enabled:
+                tracer.emit(
+                    sim.now, sim.now, "timeline", 1, "server.commit", "lost", spec.tid
+                )
             continue
         if not spec.write_set:
             continue  # read-only at the server: nothing to install
@@ -160,6 +185,10 @@ def server_process(
         writes = {obj: spec.tid for obj in spec.write_set}
         server.commit_update(spec.tid, spec.read_set, writes, cycle=cycle)
         metrics.server_commits += 1
+        if tracer.enabled:
+            tracer.emit(
+                sim.now, sim.now, "timeline", 1, "server.commit", "ok", spec.tid
+            )
 
 
 def client_process(
@@ -175,6 +204,7 @@ def client_process(
     server: Optional[BroadcastServer] = None,
     trace: Optional[TraceRecorder] = None,
     cache: Optional[QuasiCache] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> "SimEvents":
     """Run ``num_client_transactions`` client transactions to commit.
 
@@ -213,6 +243,7 @@ def client_process(
         restarts = 0
 
         while True:  # attempts
+            attempt_start = sim.now
             committed = yield from _attempt(
                 sim,
                 config,
@@ -223,6 +254,8 @@ def client_process(
                 rng,
                 cache,
                 client_id=client_id,
+                tracer=tracer,
+                attempt_start=attempt_start,
             )
             if committed and is_update:
                 committed = yield from _submit_update(
@@ -234,8 +267,14 @@ def client_process(
                     metrics,
                     state=state,
                     client_id=client_id,
+                    tracer=tracer,
+                    attempt_start=attempt_start,
                 )
             if committed:
+                if tracer.enabled:
+                    tracer.emit(
+                        attempt_start, sim.now, "client", client_id, "attempt", "ok", tid
+                    )
                 break
             restarts += 1
             runtime.restart()
@@ -243,6 +282,8 @@ def client_process(
                 yield restart_pause
 
         metrics.record_commit(tid, submit_time, sim.now, restarts)
+        if tracer.enabled:
+            tracer.emit(submit_time, sim.now, "client", client_id, "txn", "ok", tid)
         if trace is not None:
             trace.record_session_commit(client_id, tid)
             if not is_update:
@@ -261,6 +302,8 @@ def _submit_update(
     metrics: MetricsCollector,
     state: Optional[SharedState] = None,
     client_id: int = 0,
+    tracer: Tracer = NULL_TRACER,
+    attempt_start: float = 0.0,
 ) -> "SimAttempt":
     """Ship a finished update transaction up the uplink; True iff committed.
 
@@ -280,6 +323,8 @@ def _submit_update(
     plan = faults.plan if faults is not None else None
     half_rtt = Timeout(config.uplink_round_trip / 2)
     retries = 0
+    uplink_start = sim.now
+    tid = runtime.tid
     while True:
         yield half_rtt
         if plan is not None and faults is not None:
@@ -297,7 +342,21 @@ def _submit_update(
             if cause is not None:
                 if retries >= plan.uplink_max_retries:
                     metrics.record_abort(cause)
+                    if tracer.enabled:
+                        tracer.emit(
+                            uplink_start, sim.now, "client", client_id,
+                            "uplink", cause, tid,
+                        )
+                        tracer.emit(
+                            attempt_start, sim.now, "client", client_id,
+                            "attempt", cause, tid,
+                        )
                     return False
+                if tracer.enabled:
+                    tracer.emit(
+                        sim.now, sim.now, "client", client_id,
+                        "uplink.retry", cause, tid,
+                    )
                 # wait out the verdict timeout, back off, resubmit
                 yield Timeout(  # rep: allow-alloc — backoff grows per retry
                     plan.uplink_timeout * plan.uplink_backoff**retries
@@ -309,9 +368,20 @@ def _submit_update(
         yield half_rtt
         if outcome.committed:
             metrics.client_updates_committed += 1
+            if tracer.enabled:
+                tracer.emit(
+                    uplink_start, sim.now, "client", client_id, "uplink", "ok", tid
+                )
             return True
         metrics.client_updates_rejected += 1
         metrics.record_abort("conflict")
+        if tracer.enabled:
+            tracer.emit(
+                uplink_start, sim.now, "client", client_id, "uplink", "conflict", tid
+            )
+            tracer.emit(
+                attempt_start, sim.now, "client", client_id, "attempt", "conflict", tid
+            )
         return False
 
 
@@ -325,6 +395,8 @@ def _attempt(
     rng: random.Random,
     cache: Optional[QuasiCache],
     client_id: int = 0,
+    tracer: Tracer = NULL_TRACER,
+    attempt_start: float = 0.0,
 ) -> "SimAttempt":
     """One attempt of a client transaction; True iff it commits."""
     faults = state.faults
@@ -381,7 +453,8 @@ def _attempt(
             metrics.reads_delivered += 1
         else:
             metrics.reads_rejected += 1
-            metrics.record_abort("staleness" if outcome.stale else "conflict")
+            cause = "staleness" if outcome.stale else "conflict"
+            metrics.record_abort(cause)
             if cache is not None:
                 # every read of this attempt is a staleness suspect —
                 # evict them so the retry re-fetches off the air instead
@@ -389,6 +462,11 @@ def _attempt(
                 cache.evict(outcome.obj)
                 for read_obj, _cycle in runtime.reads:
                     cache.evict(read_obj)
+            if tracer.enabled:
+                tracer.emit(
+                    attempt_start, sim.now, "client", client_id,
+                    "attempt", cause, runtime.tid,
+                )
             return False
     runtime.commit()
     return True

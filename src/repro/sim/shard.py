@@ -54,6 +54,8 @@ import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs.profiler import PhaseProfiler
+from ..obs.tracer import Span, canonical_spans
 from .arena import (
     TIMELINE_CACHE,
     TimelineArena,
@@ -146,8 +148,9 @@ def _observer_slice(slice_: ShardSlice) -> ShardSlice:
 
 def _run_shard(
     job: Tuple[SimulationConfig, ShardSlice, Optional[int]]
-) -> Tuple[MetricsCollector, float, int]:
-    """Worker entry point: one recompute shard; collector + run stats.
+) -> Tuple[MetricsCollector, float, int, List[Span], int]:
+    """Worker entry point: one recompute shard; collector + run stats +
+    this shard's raw span stream (empty when tracing is off).
 
     Module-level so the process pool can pickle it; also the inline path
     for ``workers=0``.
@@ -155,7 +158,13 @@ def _run_shard(
     config, slice_, max_events = job
     simulation = BroadcastSimulation(config, slice_=slice_)
     sim_time, events = simulation.execute(max_events)
-    return simulation.metrics, sim_time, events
+    return (
+        simulation.metrics,
+        sim_time,
+        events,
+        simulation.tracer.export(),
+        simulation.tracer.dropped,
+    )
 
 
 def _run_shard_replay(
@@ -165,8 +174,9 @@ def _run_shard_replay(
         Union[TimelineHandle, TimelineArena],
         Optional[int],
     ]
-) -> Tuple[MetricsCollector, float, int, bool]:
-    """Worker entry point: one replay shard; collector + stats + fell_back.
+) -> Tuple[MetricsCollector, float, int, List[Span], int, bool]:
+    """Worker entry point: one replay shard; collector + stats + spans +
+    fell_back.
 
     Attaches to the shared arena (zero-copy) when handed a
     :class:`TimelineHandle`; uses the arena directly on the in-process
@@ -186,9 +196,18 @@ def _run_shard_replay(
     try:
         sim_time, events = simulation.execute(max_events)
     except TimelineExhausted:
-        metrics, sim_time, events = _run_shard((config, slice_, max_events))
-        return metrics, sim_time, events, True
-    return simulation.metrics, sim_time, events, False
+        metrics, sim_time, events, spans, dropped = _run_shard(
+            (config, slice_, max_events)
+        )
+        return metrics, sim_time, events, spans, dropped, True
+    return (
+        simulation.metrics,
+        sim_time,
+        events,
+        simulation.tracer.export(),
+        simulation.tracer.dropped,
+        False,
+    )
 
 
 def _replay_primary(
@@ -196,7 +215,7 @@ def _replay_primary(
     slice_: ShardSlice,
     arena: TimelineArena,
     max_events: Optional[int],
-) -> Tuple[MetricsCollector, float, int]:
+) -> Tuple[MetricsCollector, float, int, List[Span], int]:
     """The parent's own replay of the primary slice on a cache hit.
 
     Unlike the worker path this lets :class:`TimelineExhausted`
@@ -209,7 +228,13 @@ def _replay_primary(
         config, slice_=_observer_slice(slice_), timeline=arena.view()
     )
     sim_time, events = simulation.execute(max_events)
-    return simulation.metrics, sim_time, events
+    return (
+        simulation.metrics,
+        sim_time,
+        events,
+        simulation.tracer.export(),
+        simulation.tracer.dropped,
+    )
 
 
 def _collect(
@@ -250,47 +275,68 @@ def run_sharded(
         )
     if config.timeline_mode == "replay":
         return _run_replay(config, workers=workers, max_events=max_events)
+    profiler = PhaseProfiler()
     slices = reader_slices(config)
     if len(slices) == 1:
-        return BroadcastSimulation(config, slice_=slices[0]).run(
-            max_events=max_events
-        )
+        with profiler.phase("execute"):
+            result = BroadcastSimulation(config, slice_=slices[0]).run(
+                max_events=max_events
+            )
+        result.profile = profiler.as_dict()
+        return result
     rest = slices[1:]
     if workers is None:
         workers = min(len(rest), max(1, (os.cpu_count() or 1) - 1))
     if workers <= 0:
         outcomes = []
-        for index, sl in enumerate(rest):
-            try:
-                outcomes.append(_run_shard((config, sl, max_events)))
-            except Exception as exc:
-                raise ShardExecutionError(1 + index, sl, exc) from exc
-        primary = BroadcastSimulation(config, slice_=slices[0])
-        sim_time, events = primary.execute(max_events)
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_shard, (config, sl, max_events)) for sl in rest
-            ]
-            # the parent is shard 0 — it computes the primary (metric-
-            # recording) timeline while the pool handles the rest
+        with profiler.phase("shards"):
+            for index, sl in enumerate(rest):
+                try:
+                    outcomes.append(_run_shard((config, sl, max_events)))
+                except Exception as exc:
+                    raise ShardExecutionError(1 + index, sl, exc) from exc
+        with profiler.phase("primary"):
             primary = BroadcastSimulation(config, slice_=slices[0])
             sim_time, events = primary.execute(max_events)
-            outcomes = _collect(futures, rest, 1)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            with profiler.phase("setup"):
+                futures = [
+                    pool.submit(_run_shard, (config, sl, max_events)) for sl in rest
+                ]
+            # the parent is shard 0 — it computes the primary (metric-
+            # recording) timeline while the pool handles the rest
+            with profiler.phase("primary"):
+                primary = BroadcastSimulation(config, slice_=slices[0])
+                sim_time, events = primary.execute(max_events)
+            with profiler.phase("shards"):
+                outcomes = _collect(futures, rest, 1)
 
     merged = primary.metrics
-    for shard_metrics, shard_time, shard_events in outcomes:
-        merged.merge_from(shard_metrics)
-        if shard_time > sim_time:
-            sim_time = shard_time
-        events += shard_events
+    with profiler.phase("merge"):
+        for shard_metrics, shard_time, shard_events, _spans, _dropped in outcomes:
+            merged.merge_from(shard_metrics)
+            if shard_time > sim_time:
+                sim_time = shard_time
+            events += shard_events
 
     # an unsharded run's timeline (server completions, crash recovery)
     # keeps going until the globally-last client finishes; the primary —
     # the one shard whose timeline metrics are recorded — must cover the
     # same span, so drive it forward to the merged stop time
-    if sim_time > primary.sim.now:
-        primary.sim.run(until=sim_time, max_events=max_events)
+    with profiler.phase("drive"):
+        if sim_time > primary.sim.now:
+            primary.sim.run(until=sim_time, max_events=max_events)
+
+    spans = None
+    shard_spans = None
+    spans_dropped = 0
+    if config.tracing:
+        # the primary's stream is exported only now: driving it to the
+        # merged stop emits the tail of its timeline spans
+        shard_spans = [primary.tracer.export()] + [o[3] for o in outcomes]
+        spans = canonical_spans(shard_spans, sim_time)
+        spans_dropped = primary.tracer.dropped + sum(o[4] for o in outcomes)
 
     return SimulationResult(
         config=config,
@@ -301,6 +347,10 @@ def run_sharded(
         trace=None,
         sim_time=sim_time,
         events=events,
+        spans=spans,
+        shard_spans=shard_spans,
+        spans_dropped=spans_dropped,
+        profile=profiler.as_dict(),
     )
 
 
@@ -320,6 +370,7 @@ def _run_replay(
     against it.  Cache hit: *every* slice replays (the primary's too),
     and the timeline's counters are folded in from the arena's journal.
     """
+    profiler = PhaseProfiler()
     slices = reader_slices(config)
     cacheable = timeline_cacheable(config)
     arena: Optional[TimelineArena] = None
@@ -336,42 +387,67 @@ def _run_replay(
         recording = BroadcastSimulation(
             config, slice_=slices[0], record_timeline=True
         )
-        local_stop, events = recording.execute(max_events)
+        with profiler.phase("record"):
+            local_stop, events = recording.execute(max_events)
         horizon = (
             local_stop * _HORIZON_FACTOR
             + _HORIZON_SLACK_CYCLES * recording.layout.cycle_bits
         )
-        recording.extend_timeline(horizon, max_events=max_events)
-        arena = recording.seal_timeline(horizon)
-        if cacheable:
-            TIMELINE_CACHE.store(config, arena)
+        with profiler.phase("extend"):
+            recording.extend_timeline(horizon, max_events=max_events)
+        with profiler.phase("seal"):
+            arena = recording.seal_timeline(horizon)
+            if cacheable:
+                TIMELINE_CACHE.store(config, arena)
 
     rest = slices[1:]
     if workers is None:
         workers = min(len(rest), max(1, (os.cpu_count() or 1) - 1))
 
-    outcomes: List[Tuple[MetricsCollector, float, int, bool]] = []
-    primary_outcome: Optional[Tuple[MetricsCollector, float, int]] = None
-    try:
-        if rest and workers > 0:
-            handle = arena.share()
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_run_shard_replay, (config, sl, handle, max_events))
-                    for sl in rest
-                ]
+    outcomes: List[
+        Tuple[MetricsCollector, float, int, List[Span], int, bool]
+    ] = []
+    primary_outcome: Optional[
+        Tuple[MetricsCollector, float, int, List[Span], int]
+    ] = None
+    with profiler.phase("replay"):
+        try:
+            if rest and workers > 0:
+                handle = arena.share()
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            _run_shard_replay, (config, sl, handle, max_events)
+                        )
+                        for sl in rest
+                    ]
+                    if recording is None:
+                        # cache hit: the parent replays the primary slice
+                        # itself while the pool works — exhaustion here means
+                        # the cached horizon is too short for this config's
+                        # clients, so drop it and re-record
+                        try:
+                            primary_outcome = _replay_primary(
+                                config, slices[0], arena, max_events
+                            )
+                        except TimelineExhausted:
+                            for future in futures:
+                                future.cancel()
+                            TIMELINE_CACHE.discard(config)
+                            return _run_replay(
+                                config,
+                                workers=workers,
+                                max_events=max_events,
+                                _force_record=True,
+                            )
+                    outcomes = _collect(futures, rest, 1)
+            else:
                 if recording is None:
-                    # cache hit: the parent replays the primary slice
-                    # itself while the pool works — exhaustion here means
-                    # the cached horizon is too short for this config's
-                    # clients, so drop it and re-record
                     try:
                         primary_outcome = _replay_primary(
                             config, slices[0], arena, max_events
                         )
                     except TimelineExhausted:
-                        for future in futures:
-                            future.cancel()
                         TIMELINE_CACHE.discard(config)
                         return _run_replay(
                             config,
@@ -379,66 +455,78 @@ def _run_replay(
                             max_events=max_events,
                             _force_record=True,
                         )
-                outcomes = _collect(futures, rest, 1)
-        else:
-            if recording is None:
-                try:
-                    primary_outcome = _replay_primary(
-                        config, slices[0], arena, max_events
-                    )
-                except TimelineExhausted:
-                    TIMELINE_CACHE.discard(config)
-                    return _run_replay(
-                        config,
-                        workers=workers,
-                        max_events=max_events,
-                        _force_record=True,
-                    )
-            for index, sl in enumerate(rest):
-                try:
-                    outcomes.append(
-                        _run_shard_replay((config, sl, arena, max_events))
-                    )
-                except Exception as exc:
-                    raise ShardExecutionError(1 + index, sl, exc) from exc
-    finally:
-        arena.close_shared()
+                for index, sl in enumerate(rest):
+                    try:
+                        outcomes.append(
+                            _run_shard_replay((config, sl, arena, max_events))
+                        )
+                    except Exception as exc:
+                        raise ShardExecutionError(1 + index, sl, exc) from exc
+        finally:
+            arena.close_shared()
 
+    primary_spans: List[Span] = []
+    spans_dropped = 0
     if recording is not None:
         merged = recording.metrics
         sim_time = local_stop
     else:
         assert primary_outcome is not None
-        merged, sim_time, primary_events = primary_outcome
+        merged, sim_time, primary_events, primary_spans, spans_dropped = (
+            primary_outcome
+        )
         events += primary_events
-    for shard_metrics, shard_time, shard_events, fell_back in outcomes:
-        merged.merge_from(shard_metrics)
-        if shard_time > sim_time:
-            sim_time = shard_time
-        events += shard_events
-        if fell_back:
-            fallbacks += 1
+    with profiler.phase("merge"):
+        for (
+            shard_metrics,
+            shard_time,
+            shard_events,
+            _spans,
+            _dropped,
+            fell_back,
+        ) in outcomes:
+            merged.merge_from(shard_metrics)
+            if shard_time > sim_time:
+                sim_time = shard_time
+            events += shard_events
+            if fell_back:
+                fallbacks += 1
 
-    if recording is not None:
-        # the timeline must cover the same simulated span an unsharded
-        # run's would: drive past the horizon if a shard outlived it
-        # (rare — it means that shard fell back), then fold the
-        # extension-phase counters the merged stop time covers
-        if sim_time > recording.sim.now:
-            recording.sim.run(until=sim_time, max_events=max_events)
-        if sim_time > local_stop:
-            recording.fold_timeline_journal(upto=sim_time)
-        server = recording.server
-    else:
-        if sim_time > arena.horizon_time:
-            # a fallen-back shard ran past the cached horizon: the
-            # journal cannot cover it — drop the entry and re-record
-            TIMELINE_CACHE.discard(config)
-            return _run_replay(
-                config, workers=workers, max_events=max_events, _force_record=True
-            )
-        arena.apply_journal(merged, upto=sim_time)
-        server = None
+    with profiler.phase("drive"):
+        if recording is not None:
+            # the timeline must cover the same simulated span an unsharded
+            # run's would: drive past the horizon if a shard outlived it
+            # (rare — it means that shard fell back), then fold the
+            # extension-phase counters the merged stop time covers
+            if sim_time > recording.sim.now:
+                recording.sim.run(until=sim_time, max_events=max_events)
+            if sim_time > local_stop:
+                recording.fold_timeline_journal(upto=sim_time)
+            server = recording.server
+        else:
+            if sim_time > arena.horizon_time:
+                # a fallen-back shard ran past the cached horizon: the
+                # journal cannot cover it — drop the entry and re-record
+                TIMELINE_CACHE.discard(config)
+                return _run_replay(
+                    config, workers=workers, max_events=max_events, _force_record=True
+                )
+            arena.apply_journal(merged, upto=sim_time)
+            server = None
+
+    spans = None
+    shard_spans = None
+    if config.tracing:
+        # the recording pass's stream is exported only now: it contains
+        # the extension-phase timeline spans, which canonical_spans
+        # truncates with the same ``start <= sim_time`` predicate the
+        # journal fold uses, so span counts reconcile with counters
+        if recording is not None:
+            primary_spans = recording.tracer.export()
+            spans_dropped = recording.tracer.dropped
+        shard_spans = [primary_spans] + [o[3] for o in outcomes]
+        spans = canonical_spans(shard_spans, sim_time)
+        spans_dropped += sum(o[4] for o in outcomes)
 
     stats: Dict[str, object] = {
         "mode": "replay",
@@ -457,4 +545,8 @@ def _run_replay(
         sim_time=sim_time,
         events=events,
         timeline_stats=stats,
+        spans=spans,
+        shard_spans=shard_spans,
+        spans_dropped=spans_dropped,
+        profile=profiler.as_dict(),
     )

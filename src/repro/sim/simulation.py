@@ -30,14 +30,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an import cycle
     from ..analysis.diagnostics import AuditReport
+    from ..obs.registry import TelemetryRegistry
 
 from ..broadcast.layout import BroadcastLayout
 from ..client.cache import QuasiCache
 from ..core.validators import ReadValidator, make_validator
+from ..obs.profiler import PhaseProfiler
+from ..obs.tracer import NULL_TRACER, Span, Tracer, canonical_spans
 from ..server.server import BroadcastServer
 from ..server.workload import ClientWorkload, ServerWorkload
 from .arena import RecordingTimelineMetrics, TimelineArena, TimelineView
@@ -110,10 +113,28 @@ class SimulationResult:
     #: replay/cache telemetry from the shard layer (``timeline_mode``,
     #: cache hit, fallback counts); ``None`` on plain unsharded runs
     timeline_stats: Optional[dict] = None
+    #: canonical merged span stream (sorted, truncated at ``sim_time``)
+    #: when the config enables tracing; ``None`` otherwise
+    spans: Optional[List[Span]] = None
+    #: raw per-shard span streams in emission order (index 0 = the
+    #: primary/timeline shard) — what the Chrome-trace exporter lays out
+    #: as process lanes
+    shard_spans: Optional[List[List[Span]]] = None
+    #: spans overwritten by ring-buffer wraparound, summed over shards
+    spans_dropped: int = 0
+    #: wall-clock seconds per harness phase (outside the deterministic
+    #: core); populated by the orchestrating entry points
+    profile: Optional[Dict[str, float]] = None
 
     @property
     def protocol(self) -> str:
         return self.config.protocol
+
+    def telemetry(self) -> "TelemetryRegistry":
+        """This run's counters/gauges/histograms as a telemetry registry."""
+        from ..obs.registry import registry_from_result
+
+        return registry_from_result(self)
 
 
 class BroadcastSimulation:
@@ -159,6 +180,11 @@ class BroadcastSimulation:
         )
         self.sim = Simulator()
         self.metrics = MetricsCollector(keep_samples=config.keep_samples)
+        #: span sink for everything this shard measures; the no-op
+        #: singleton keeps untraced runs allocation-free
+        self.tracer: Tracer = (
+            Tracer(config.trace_buffer) if config.tracing else NULL_TRACER
+        )
         #: where the shared timeline's metrics (server process, crash
         #: recovery, ghost update clients) land: the measured collector
         #: on the primary shard, a discarded shadow elsewhere — wrapped
@@ -182,6 +208,10 @@ class BroadcastSimulation:
             self.trace.record_cycles = True
         local_clients = self.slice.updaters + self.slice.num_readers
         self.state = SharedState(num_clients=local_clients)
+        # timeline spans (cycle/server/crash) are primary-only, exactly
+        # like timeline metrics: ghost timelines recompute the same
+        # history and would double-emit
+        self.state.tracer = self.tracer if self.slice.primary else NULL_TRACER
         if timeline is not None:
             self.state.timeline = timeline
         if record_timeline:
@@ -262,7 +292,14 @@ class BroadcastSimulation:
         """Spawn the authoritative processes: cycle and server."""
         sim = self.sim
         sim.spawn(
-            cycle_process(sim, self.server, self.layout, self.state, self.trace),
+            cycle_process(
+                sim,
+                self.server,
+                self.layout,
+                self.state,
+                self.trace,
+                metrics=self._timeline_metrics,
+            ),
             name="cycle",
         )
         sim.spawn(
@@ -381,11 +418,15 @@ class BroadcastSimulation:
                     server=self.server,
                     trace=self.trace,
                     cache=cache,
+                    tracer=self.tracer,
                 ),
                 name=f"client-{k}",
             )
         self.spawn_crash_process()
-        for group, collector in ((ghosts, self._timeline_metrics), (measured, self.metrics)):
+        for group, collector, tracer in (
+            (ghosts, self._timeline_metrics, NULL_TRACER),
+            (measured, self.metrics, self.tracer),
+        ):
             if group:
                 CohortExecutor(
                     sim=sim,
@@ -396,6 +437,7 @@ class BroadcastSimulation:
                     metrics=collector,
                     clients=group,
                     trace=self.trace,
+                    tracer=tracer,
                 ).start()
 
         sim.run(stop_when=lambda: self.state.all_clients_done, max_events=max_events)
@@ -420,6 +462,13 @@ class BroadcastSimulation:
         config = self.config
         sim_time, events = self.execute(max_events)
 
+        spans: Optional[List[Span]] = None
+        shard_spans: Optional[List[List[Span]]] = None
+        spans_dropped = 0
+        if config.tracing:
+            shard_spans = [self.tracer.export()]
+            spans = canonical_spans(shard_spans, sim_time)
+            spans_dropped = self.tracer.dropped
         result = SimulationResult(
             config=config,
             response_time=self.metrics.response_time(config.measure_fraction),
@@ -429,6 +478,9 @@ class BroadcastSimulation:
             trace=self.trace,
             sim_time=sim_time,
             events=events,
+            spans=spans,
+            shard_spans=shard_spans,
+            spans_dropped=spans_dropped,
         )
         if config.audit:
             # Imported here (not at module top) so repro.sim never depends
@@ -456,6 +508,9 @@ def run_simulation(
         from .shard import run_sharded
 
         return run_sharded(config, collect_trace=collect_trace, max_events=max_events)
-    return BroadcastSimulation(config, collect_trace=collect_trace).run(
-        max_events=max_events
-    )
+    profiler = PhaseProfiler()
+    simulation = BroadcastSimulation(config, collect_trace=collect_trace)
+    with profiler.phase("execute"):
+        result = simulation.run(max_events=max_events)
+    result.profile = profiler.as_dict()
+    return result

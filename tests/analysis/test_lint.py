@@ -67,6 +67,12 @@ __all__ = []
 def fan_out(pool, simulation):
     return pool.submit(run_one, simulation)
 ''',
+    "REP010": '''\
+__all__ = []
+
+def debug(state):
+    print(state)
+''',
 }
 
 
@@ -77,8 +83,12 @@ def write_fixture(tmp_path: Path, name: str, source: str) -> str:
 
 
 #: fixtures that trip more than their own rule: out-of-tree files are in
-#: scope for every rule, and REP007 is REP002 widened to the whole tree
-EXPECTED_RULES = {"REP002": {"REP002", "REP007"}}
+#: scope for every rule, REP007 is REP002 widened to the whole tree, and
+#: REP010 re-reports REP001's wall-clock reads (plus print) in its scopes
+EXPECTED_RULES = {
+    "REP001": {"REP001", "REP010"},
+    "REP002": {"REP002", "REP007"},
+}
 
 
 class TestRules:
@@ -140,7 +150,7 @@ class TestRules:
             tmp_path,
             "suppressed.py",
             "__all__ = []\nimport time\n\n\ndef stamp():\n"
-            "    return time.time()  # noqa: REP001\n",
+            "    return time.time()  # noqa: REP001,REP010\n",
         )
         assert lint_file(path) == []
 
@@ -151,7 +161,7 @@ class TestRules:
             "__all__ = []\nimport time\n\n\ndef stamp():\n"
             "    return time.time()  # noqa: REP004\n",
         )
-        assert {f.rule for f in lint_file(path)} == {"REP001"}
+        assert {f.rule for f in lint_file(path)} == {"REP001", "REP010"}
 
     def test_allow_alloc_suppresses_hot_loop_allocation(self, tmp_path):
         path = write_fixture(
@@ -227,6 +237,35 @@ class TestRules:
         )
         # the escape comment quiets REP007; REP002 still reports the draw
         assert {f.rule for f in lint_file(path)} == {"REP002"}
+
+    def test_rep010_scoped_to_sim_and_server(self):
+        side_channel = next(r for r in RULES if r.rule_id == "REP010")
+        assert side_channel.applies_to("src/repro/sim/processes.py")
+        assert side_channel.applies_to("src/repro/server/engine.py")
+        # the obs layer is the sanctioned home for wall-clock reads, and
+        # the CLIs/benchmarks legitimately print
+        assert not side_channel.applies_to("src/repro/obs/profiler.py")
+        assert not side_channel.applies_to("src/repro/experiments/cli.py")
+        assert side_channel.applies_to("tests/analysis/fixture.py")
+
+    def test_allow_wallclock_suppresses_rep010_only(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "allowed_wallclock.py",
+            "__all__ = []\nimport time\n\n\ndef stamp():\n"
+            "    return time.time()  # rep: allow-wallclock\n",
+        )
+        # the escape comment quiets REP010; REP001 still reports the read
+        assert {f.rule for f in lint_file(path)} == {"REP001"}
+
+    def test_rep010_flags_print_with_escape(self, tmp_path):
+        path = write_fixture(
+            tmp_path,
+            "allowed_print.py",
+            "__all__ = []\n\n\ndef debug(state):\n"
+            "    print(state)  # rep: allow-wallclock\n",
+        )
+        assert lint_file(path) == []
 
     def test_rep008_scoped_to_shard_hot_paths(self):
         population = next(r for r in RULES if r.rule_id == "REP008")

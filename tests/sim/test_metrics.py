@@ -128,15 +128,21 @@ class TestMetricsCollector:
         assert m.commit_count == 7
         assert m._samples_cache is None  # counting touched no objects
 
-    def test_keep_samples_off_skips_the_cache(self):
+    def test_keep_samples_off_refuses_sample_objects(self):
+        """With keep_samples=False the object path raises a clear error
+        naming the flag — silently rebuilding per access hid O(commits)
+        allocations behind an innocent-looking attribute (PR 9)."""
         m = MetricsCollector(keep_samples=False)
         self._fill(m, 3)
-        first = m.samples
-        assert len(first) == 3
+        with pytest.raises(ValueError, match="keep_samples=False"):
+            m.samples
+        with pytest.raises(ValueError, match="keep_samples=False"):
+            m.steady_state(1.0)
         assert m._samples_cache is None
-        assert m.samples is not first  # rebuilt per access, never held
         # the array-backed statistics are unaffected
+        assert m.commit_count == 3
         assert m.response_time(1.0).count == 3
+        assert m.restart_ratio(1.0).count == 3
 
     def test_summary_paths_agree_with_sample_objects(self):
         """Array statistics ≡ the object path, including tid tie-breaks."""
@@ -237,10 +243,12 @@ class TestMergeFrom:
         a.merge_from(b)
         assert a.keep_samples is False
         assert a.commit_count == 5 and a.reads_delivered == 7
-        assert [s.tid for s in a.samples] == ["a0", "a1", "b0", "b1", "b2"]
-        # the target never caches, even after absorbing a caching donor
+        # the target stays sample-free, even after absorbing a caching
+        # donor: the object path refuses, the arrays carry everything
         assert a._samples_cache is None
-        assert a.samples is not a.samples
+        with pytest.raises(ValueError, match="keep_samples=False"):
+            a.samples
+        assert [a._tids[k] for k in range(5)] == ["a0", "a1", "b0", "b1", "b2"]
         # the donor keeps its (pre-merge) cache and contents
         assert b._samples_cache is not None and b.commit_count == 3
 
