@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint typecheck audit bench-smoke faults-smoke consistency-smoke obs-smoke
+.PHONY: check test lint typecheck audit bench-smoke faults-smoke consistency-smoke obs-smoke scenario-smoke
 
 check: test lint typecheck
 
@@ -57,6 +57,20 @@ obs-smoke:
 	$(PYTHON) -m repro.obs.trace_cli summarize obs-trace.json
 	$(PYTHON) -m repro.obs.trace_cli overhead --repeats 3 \
 		--output obs-overhead.json
+
+# scenario smoke (docs/SCENARIOS.md): run every library scenario under
+# every protocol it declares and check its calibrated metric envelope,
+# then prove the record/replay determinism contract by recording the
+# zero-fault anchor under the process executor and replaying it
+# bit-identically through the cohort executor.  Exits non-zero on any
+# envelope miss or replay divergence; JSON lands in scenario-smoke.json.
+scenario-smoke:
+	$(PYTHON) -m repro.experiments.cli scenario run --all \
+		--output scenario-smoke.json
+	$(PYTHON) -m repro.experiments.cli scenario record table1-baseline \
+		--out scenario-smoke-table1.trace.json
+	$(PYTHON) -m repro.experiments.cli scenario replay \
+		scenario-smoke-table1.trace.json --executor cohort
 
 # consistency smoke (docs/ANALYSIS.md "Consistency levels"): the
 # small-scope model checker exhaustively sweeps the smallest scope for

@@ -8,7 +8,14 @@ Importing this package registers every built-in rule in
 from __future__ import annotations
 
 from .allocation import NoHotLoopAllocationRule
-from .base import RULES, Finding, LintRule, ModuleUnderLint, register
+from .base import (
+    RULES,
+    DataUnderLint,
+    Finding,
+    LintRule,
+    ModuleUnderLint,
+    register,
+)
 from .determinism import (
     NoSideChannelOutputRule,
     NoUnseededRandomAnywhereRule,
@@ -20,9 +27,11 @@ from .exports import MandatoryAllRule
 from .floats import NoFloatEqualityRule
 from .pickling import NoSimStatePicklingRule
 from .population import NoPopulationComprehensionRule
+from .scenario_files import ScenarioFileRule
 
 __all__ = [
     "RULES",
+    "DataUnderLint",
     "Finding",
     "LintRule",
     "ModuleUnderLint",
@@ -37,4 +46,5 @@ __all__ = [
     "NoHotLoopAllocationRule",
     "NoPopulationComprehensionRule",
     "NoSimStatePicklingRule",
+    "ScenarioFileRule",
 ]

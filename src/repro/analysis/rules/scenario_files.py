@@ -1,0 +1,62 @@
+"""Scenario-file rule: every shipped scenario must validate and be seeded.
+
+A scenario document that drifts out of schema — or loses its pinned
+seed — silently un-pins the runs CI believes it is regression-testing.
+REP011 therefore validates every YAML/JSON file under a ``scenarios/``
+path against :func:`repro.scenarios.loader.loads_scenario` at lint
+time, which enforces the full schema including the mandatory integer
+``seed`` and the eager per-protocol config build.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from .base import DataUnderLint, Finding, LintRule, ModuleUnderLint, register
+
+__all__ = ["ScenarioFileRule"]
+
+_SEED_LINE_RE = re.compile(r"^\s*[\"']?seed[\"']?\s*:", re.MULTILINE)
+
+
+@register
+class ScenarioFileRule(LintRule):
+    """Scenario YAML/JSON must parse, validate, and name a seed."""
+
+    rule_id = "REP011"
+    description = (
+        "scenario files (scenarios/*.yaml|.yml|.json) must validate "
+        "against the scenario schema and name an integer seed — an "
+        "invalid or unseeded scenario un-pins the runs CI regression-tests"
+    )
+    scopes = ("scenarios/",)
+    handles_data = True
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        # Python modules in the scenarios package are covered by the
+        # ordinary rules; this rule only inspects data files.
+        return iter(())
+
+    def check_data(self, data: DataUnderLint) -> Iterator[Finding]:
+        # Lazy import: the lint driver must stay importable (and fast)
+        # even where the simulation stack is not.
+        from ...scenarios.loader import loads_scenario
+        from ...scenarios.schema import ScenarioError
+
+        fmt = "json" if data.posix_path.endswith(".json") else "yaml"
+        try:
+            loads_scenario(data.source, fmt=fmt, source=data.path)
+        except ScenarioError as exc:
+            message = str(exc)
+            prefix = f"{data.path}: "
+            if message.startswith(prefix):
+                message = message[len(prefix):]
+            line = 1
+            if "seed" in message:
+                match = _SEED_LINE_RE.search(data.source)
+                if match is not None:
+                    line = data.source.count("\n", 0, match.start()) + 1
+            yield self.data_finding(
+                data, f"invalid scenario file: {message}", line=line
+            )

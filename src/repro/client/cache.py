@@ -46,15 +46,35 @@ class CacheEntry:
     def as_broadcast(self) -> BroadcastCycle:
         """Present the entry as a one-object broadcast for the runtime.
 
-        The runtime indexes ``versions`` by object id, so pad with the
-        entry at its own position only — accessing other objects through a
-        cache-entry broadcast is a bug and raises ``IndexError``.
+        The runtime indexes ``versions`` by object id, so the entry sits
+        at its own position only — accessing any *other* object through a
+        cache-entry broadcast is a bug and raises ``IndexError`` with the
+        offending ids (objects below the cached id used to be padded with
+        ``None``, which surfaced later as an opaque ``AttributeError``).
         """
         versions = tuple(
             self.version if i == self.version.obj else None  # type: ignore[misc]
             for i in range(self.version.obj + 1)
         )
-        return BroadcastCycle(self.snapshot.cycle, versions, self.snapshot)
+        return _CacheEntryCycle(self.snapshot.cycle, versions, self.snapshot)
+
+
+class _CacheEntryCycle(BroadcastCycle):
+    """A one-object broadcast view over a cache entry.
+
+    Only the cached object is present; :meth:`version` rejects every
+    other id eagerly so a mis-indexed access fails at the read site with
+    a clear message instead of handing a ``None`` downstream.
+    """
+
+    def version(self, obj: int) -> ObjectVersion:
+        cached = len(self.versions) - 1
+        if obj != cached:
+            raise IndexError(
+                f"cache-entry broadcast holds only object {cached}; "
+                f"object {obj} must be read off the air"
+            )
+        return self.versions[cached]
 
 
 class QuasiCache:
@@ -93,16 +113,26 @@ class QuasiCache:
 
     # ------------------------------------------------------------------
     def insert(self, broadcast: BroadcastCycle, obj: int, now: float) -> CacheEntry:
-        """Cache an object just read from a broadcast cycle."""
+        """Cache an object just read from a broadcast cycle.
+
+        At capacity, entries past their currency bound are dropped first
+        — an expired entry can never serve another hit, so evicting a
+        still-fresh one while a dead one survives (until a later lookup
+        happens to touch it) wastes cache space.  Only if every resident
+        entry is still fresh does the capacity policy fall back to
+        evicting the stalest (oldest ``cached_at``).
+        """
         entry = CacheEntry(broadcast.version(obj), broadcast.snapshot, now)
         if (
             self.capacity is not None
             and obj not in self._entries
             and len(self._entries) >= self.capacity
         ):
-            # evict the stalest entry (oldest cached_at) — [2]-style policy
-            evict = min(self._entries.values(), key=lambda e: e.cached_at)
-            del self._entries[evict.obj]
+            self.expire(now)
+            if len(self._entries) >= self.capacity:
+                # evict the stalest entry (oldest cached_at) — [2]-style policy
+                evict = min(self._entries.values(), key=lambda e: e.cached_at)
+                del self._entries[evict.obj]
         self._entries[obj] = entry
         return entry
 

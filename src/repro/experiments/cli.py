@@ -8,6 +8,10 @@ Installed as ``repro-experiments``.  Examples::
     repro-experiments all --transactions 200 --csv results/
     repro-experiments all --workers 4   # parallel grid, identical results
     repro-experiments fig2 --executor analytic --shards 4   # sharded run
+    repro-experiments scenario list     # the declarative scenario library
+    repro-experiments scenario run --all          # envelope-checked runs
+    repro-experiments scenario record commuter-doze --out doze.trace.json
+    repro-experiments scenario replay doze.trace.json --executor cohort
 
 ``--transactions`` trades statistical tightness for wall-clock time; the
 paper's setting is 1000 (and takes minutes per figure in pure Python).
@@ -322,6 +326,11 @@ def audit_main(argv: Optional[List[str]] = None) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "scenario":
+        from ..scenarios.cli import scenario_main
+
+        return scenario_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.shards > 1 and args.executor == "process":
         build_parser().error(
@@ -335,6 +344,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name}")
         print("  table1")
         print("  faults")
+        print("also: 'scenario list|run|record|replay' — the declarative")
+        print("scenario library with envelopes and trace record/replay")
+        print("(docs/SCENARIOS.md)")
         return 0
 
     if args.experiment == "table1":

@@ -15,6 +15,7 @@ assembled :class:`ExperimentResult` is bit-identical to a sequential run.
 
 from __future__ import annotations
 
+import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -57,17 +58,34 @@ class Series:
     def restart_means(self) -> Tuple[float, ...]:
         return tuple(p.restart_ratio.mean for p in self.points)
 
-    def response_at(self, x: float) -> float:
+    def point_at(self, x: float) -> Point:
+        """The point whose x matches ``x`` up to float tolerance.
+
+        Sweep values that pass through float arithmetic (a fraction
+        computed by a ``config_hook``, ``0.1 * 3``, a value re-parsed
+        from CSV/JSON) need not be bit-equal to the number the caller
+        types, so the lookup takes the nearest point and accepts it when
+        it is close (1e-9 relative).  Exact-equality lookup raised
+        ``KeyError`` on points that plainly exist — the same float-``==``
+        bug class PR 1 fixed in ``server/workload.py``.
+        """
+        best: Optional[Point] = None
+        best_err = math.inf
         for p in self.points:
-            if p.x == x:
-                return p.response_time.mean
+            err = abs(p.x - x)
+            if err < best_err:
+                best, best_err = p, err
+        if best is not None and math.isclose(
+            best.x, x, rel_tol=1e-9, abs_tol=1e-12
+        ):
+            return best
         raise KeyError(f"no point at x={x}")
 
+    def response_at(self, x: float) -> float:
+        return self.point_at(x).response_time.mean
+
     def restart_at(self, x: float) -> float:
-        for p in self.points:
-            if p.x == x:
-                return p.restart_ratio.mean
-        raise KeyError(f"no point at x={x}")
+        return self.point_at(x).restart_ratio.mean
 
 
 @dataclass

@@ -1,0 +1,194 @@
+"""Expected-metric envelopes for scenario runs.
+
+A scenario can declare, per metric, a ``[lo, hi]`` range the run's
+outcome must fall inside.  The envelope is the scenario's regression
+contract: the library scenarios ship with envelopes calibrated from
+their pinned seeds, and ``make scenario-smoke`` re-runs them in CI and
+fails (exit code 1) when a run drifts outside its ranges.
+
+Envelopes are *ranges*, not exact values, on purpose: exact values
+belong to the determinism contract (record/replay,
+:mod:`repro.scenarios.recording`); envelopes instead encode the
+qualitative claim a scenario exists to demonstrate — "the update storm
+pushes the restart ratio above X", "the quasi-cache fleet actually
+hits its cache", "exactly one crash happened".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Tuple
+
+if TYPE_CHECKING:
+    from ..sim.simulation import SimulationResult
+
+__all__ = [
+    "ENVELOPE_METRICS",
+    "scenario_metrics",
+    "MetricBound",
+    "EnvelopeCheck",
+    "EnvelopeReport",
+    "MetricEnvelope",
+]
+
+
+def _cache_hit_rate(result: "SimulationResult") -> float:
+    m = result.metrics
+    served = m.cache_hits + m.reads_delivered
+    return m.cache_hits / served if served else 0.0
+
+
+#: every metric name an envelope may bound, mapped to its extractor.
+#: Counter names resolve through :meth:`MetricsCollector.counters`, so
+#: the set tracks ``_COUNTER_FIELDS`` automatically; the derived
+#: entries below add the summary statistics the paper plots.
+ENVELOPE_METRICS: Dict[str, Callable[["SimulationResult"], float]] = {
+    "response_time_mean": lambda r: r.response_time.mean,
+    "restart_ratio_mean": lambda r: r.restart_ratio.mean,
+    "commits": lambda r: float(r.metrics.commit_count),
+    "cache_hit_rate": _cache_hit_rate,
+    "sim_time": lambda r: r.sim_time,
+}
+
+
+def _install_counter_metrics() -> None:
+    from ..sim.metrics import MetricsCollector
+
+    def make(name: str) -> Callable[["SimulationResult"], float]:
+        return lambda r: float(getattr(r.metrics, name))
+
+    for name in MetricsCollector._COUNTER_FIELDS:
+        ENVELOPE_METRICS.setdefault(name, make(name))
+
+
+_install_counter_metrics()
+
+
+def scenario_metrics(result: "SimulationResult") -> Dict[str, float]:
+    """Every envelope-checkable metric of a finished run, by name."""
+    return {name: fn(result) for name, fn in ENVELOPE_METRICS.items()}
+
+
+@dataclass(frozen=True)
+class MetricBound:
+    """An inclusive ``[lo, hi]`` range one metric must land in."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"envelope bound has lo {self.lo} > hi {self.hi}")
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+
+@dataclass(frozen=True)
+class EnvelopeCheck:
+    """One metric's verdict against its bound."""
+
+    metric: str
+    value: float
+    lo: float
+    hi: float
+    ok: bool
+
+    def describe(self) -> str:
+        verdict = "ok" if self.ok else "MISS"
+        return (
+            f"{self.metric}: {self.value:g} "
+            f"in [{self.lo:g}, {self.hi:g}] -> {verdict}"
+        )
+
+
+@dataclass(frozen=True)
+class EnvelopeReport:
+    """All of one run's envelope verdicts."""
+
+    checks: Tuple[EnvelopeCheck, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def misses(self) -> Tuple[EnvelopeCheck, ...]:
+        return tuple(check for check in self.checks if not check.ok)
+
+    def describe(self) -> str:
+        if not self.checks:
+            return "no envelope declared"
+        return "\n".join(check.describe() for check in self.checks)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "checks": [
+                {
+                    "metric": c.metric,
+                    "value": c.value,
+                    "lo": c.lo,
+                    "hi": c.hi,
+                    "ok": c.ok,
+                }
+                for c in self.checks
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class MetricEnvelope:
+    """A scenario's expected-metric ranges, checked after each run."""
+
+    #: (metric name, bound) pairs in declaration order
+    bounds: Tuple[Tuple[str, MetricBound], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for name, _bound in self.bounds:
+            if name not in ENVELOPE_METRICS:
+                raise ValueError(
+                    f"unknown envelope metric {name!r}; known metrics: "
+                    f"{sorted(ENVELOPE_METRICS)}"
+                )
+            if name in seen:
+                raise ValueError(f"duplicate envelope metric {name!r}")
+            seen.add(name)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "MetricEnvelope":
+        """Build from a ``{metric: [lo, hi]}`` mapping (scenario files)."""
+        bounds: List[Tuple[str, MetricBound]] = []
+        for name, raw in payload.items():
+            if (
+                not isinstance(raw, (list, tuple))
+                or len(raw) != 2
+                or not all(isinstance(v, (int, float)) for v in raw)
+            ):
+                raise ValueError(
+                    f"envelope metric {name!r} must map to a [lo, hi] pair, "
+                    f"got {raw!r}"
+                )
+            bounds.append((str(name), MetricBound(float(raw[0]), float(raw[1]))))
+        return cls(tuple(bounds))
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        """The inverse of :meth:`from_dict` (round-trips losslessly)."""
+        return {name: [bound.lo, bound.hi] for name, bound in self.bounds}
+
+    def check(self, result: "SimulationResult") -> EnvelopeReport:
+        """Evaluate every declared bound against a finished run."""
+        values = scenario_metrics(result)
+        return EnvelopeReport(
+            tuple(
+                EnvelopeCheck(
+                    metric=name,
+                    value=values[name],
+                    lo=bound.lo,
+                    hi=bound.hi,
+                    ok=bound.contains(values[name]),
+                )
+                for name, bound in self.bounds
+            )
+        )

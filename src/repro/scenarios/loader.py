@@ -1,0 +1,120 @@
+"""Loading scenario documents from YAML/JSON text, files, and the library.
+
+The shipped library lives in ``repro/scenarios/library/`` next to this
+module — one file per named scenario, each with a pinned seed and a
+calibrated metric envelope.  ``repro-experiments scenario list`` prints
+it; :func:`get_scenario` resolves a CLI argument as a library name
+first and a filesystem path second.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .schema import Scenario, ScenarioError, parse_scenario
+
+__all__ = [
+    "loads_scenario",
+    "load_scenario",
+    "library_dir",
+    "library_paths",
+    "builtin_scenarios",
+    "get_scenario",
+]
+
+_YAML_SUFFIXES = (".yaml", ".yml")
+
+
+def _decode(text: str, *, fmt: str, source: str) -> object:
+    if fmt == "json":
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"{source}: invalid JSON: {exc}") from exc
+    if fmt == "yaml":
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - PyYAML is a dep
+            raise ScenarioError(
+                f"{source}: PyYAML is required to read YAML scenarios; "
+                "install pyyaml or author the scenario as JSON"
+            ) from exc
+        try:
+            return yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(f"{source}: invalid YAML: {exc}") from exc
+    raise ScenarioError(f"{source}: unknown scenario format {fmt!r}")
+
+
+def loads_scenario(
+    text: str, *, fmt: str = "yaml", source: str = "<scenario>"
+) -> Scenario:
+    """Parse scenario text (``fmt`` is ``"yaml"`` or ``"json"``)."""
+    return parse_scenario(_decode(text, fmt=fmt, source=source), source=source)
+
+
+def load_scenario(path: "Path | str") -> Scenario:
+    """Load one scenario file; the suffix picks the format."""
+    p = Path(path)
+    fmt = "yaml" if p.suffix in _YAML_SUFFIXES else "json"
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise ScenarioError(f"{p}: cannot read scenario file: {exc}") from exc
+    return loads_scenario(text, fmt=fmt, source=str(p))
+
+
+def library_dir() -> Path:
+    """The shipped scenario library directory."""
+    return Path(__file__).resolve().parent / "library"
+
+
+def library_paths() -> List[Path]:
+    """Every scenario file in the library, sorted by name."""
+    root = library_dir()
+    if not root.is_dir():
+        return []
+    return sorted(
+        p
+        for p in root.iterdir()
+        if p.suffix in (*_YAML_SUFFIXES, ".json") and p.is_file()
+    )
+
+
+def builtin_scenarios() -> Dict[str, Scenario]:
+    """The shipped library, loaded and validated, keyed by name.
+
+    A library file whose ``name`` disagrees with its stem is rejected:
+    the CLI resolves scenarios by name, so the two must not drift.
+    """
+    out: Dict[str, Scenario] = {}
+    for path in library_paths():
+        scenario = load_scenario(path)
+        if scenario.name != path.stem:
+            raise ScenarioError(
+                f"{path}: scenario is named {scenario.name!r} but the file "
+                f"stem is {path.stem!r}; rename one to match"
+            )
+        if scenario.name in out:
+            raise ScenarioError(
+                f"{path}: duplicate scenario name {scenario.name!r}"
+            )
+        out[scenario.name] = scenario
+    return out
+
+
+def get_scenario(name_or_path: str) -> Scenario:
+    """Resolve a CLI argument: library name first, then a file path."""
+    library = builtin_scenarios()
+    if name_or_path in library:
+        return library[name_or_path]
+    path = Path(name_or_path)
+    if path.exists():
+        return load_scenario(path)
+    known: Optional[str] = ", ".join(sorted(library)) or None
+    raise ScenarioError(
+        f"unknown scenario {name_or_path!r}: not a library name "
+        f"({known or 'library is empty'}) and no such file"
+    )

@@ -277,6 +277,46 @@ class SimulationConfig:
         """A modified copy (sweeps use this)."""
         return dataclasses.replace(self, **changes)
 
+    # -- serialisation (scenario files, recorded traces) ---------------
+    def to_dict(self) -> "dict[str, object]":
+        """Every field as a JSON-ready dict.
+
+        The inverse of :meth:`from_dict`: the pair round-trips losslessly
+        (``from_dict(cfg.to_dict()) == cfg``), including the fault plan,
+        so recorded traces and scenario runs can persist the *exact*
+        parameterisation they executed under.
+        """
+        payload: "dict[str, object]" = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name == "faults":
+                value = value.to_dict() if value is not None else None
+            payload[f.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, object]") -> "SimulationConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected (a typoed field silently falling back
+        to a default would un-pin the run the caller thinks it replays).
+        """
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - field_names)
+        if unknown:
+            raise ValueError(
+                f"unknown SimulationConfig field(s) {unknown}; "
+                f"known fields: {sorted(field_names)}"
+            )
+        kwargs: "dict[str, object]" = dict(payload)
+        faults = kwargs.get("faults")
+        if faults is not None:
+            if not isinstance(faults, FaultPlan):
+                if not isinstance(faults, dict):
+                    raise ValueError("'faults' must be a mapping (or null)")
+                kwargs["faults"] = FaultPlan.from_dict(faults)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
     def fingerprint(self) -> str:
         """A short stable hash over every field (audit/provenance tag).
 

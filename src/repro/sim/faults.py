@@ -96,6 +96,22 @@ class DozeInterval:
     def end(self) -> float:
         return self.start + self.duration
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (scenario files, recorded traces)."""
+        return {
+            "client": self.client,
+            "start": self.start,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "DozeInterval":
+        return cls(
+            client=int(payload["client"]),  # type: ignore[arg-type]
+            start=float(payload["start"]),  # type: ignore[arg-type]
+            duration=float(payload["duration"]),  # type: ignore[arg-type]
+        )
+
 
 @dataclass(frozen=True)
 class ServerCrash:
@@ -120,6 +136,17 @@ class ServerCrash:
     @property
     def end(self) -> float:
         return self.time + self.downtime
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (scenario files, recorded traces)."""
+        return {"time": self.time, "downtime": self.downtime}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ServerCrash":
+        return cls(
+            time=float(payload["time"]),  # type: ignore[arg-type]
+            downtime=float(payload["downtime"]),  # type: ignore[arg-type]
+        )
 
 
 @dataclass(frozen=True)
@@ -189,6 +216,51 @@ class FaultPlan:
     def max_doze_client(self) -> int:
         """Largest client index named by a doze interval (-1 if none)."""
         return max((iv.client for iv in self.doze), default=-1)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The plan as a JSON-ready dict, losslessly round-trippable.
+
+        What scenario files and recorded traces persist; the inverse is
+        :meth:`from_dict` and the pair satisfies
+        ``FaultPlan.from_dict(plan.to_dict()) == plan``.
+        """
+        return {
+            "doze": [interval.to_dict() for interval in self.doze],
+            "crashes": [crash.to_dict() for crash in self.crashes],
+            "uplink_loss_probability": self.uplink_loss_probability,
+            "uplink_max_retries": self.uplink_max_retries,
+            "uplink_timeout": self.uplink_timeout,
+            "uplink_backoff": self.uplink_backoff,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        doze = payload.get("doze", []) or []
+        crashes = payload.get("crashes", []) or []
+        if not isinstance(doze, (list, tuple)):
+            raise ValueError("faults 'doze' must be a list of intervals")
+        if not isinstance(crashes, (list, tuple)):
+            raise ValueError("faults 'crashes' must be a list of crashes")
+        return cls(
+            doze=tuple(
+                DozeInterval.from_dict(entry) for entry in doze  # type: ignore[arg-type]
+            ),
+            crashes=tuple(
+                ServerCrash.from_dict(entry) for entry in crashes  # type: ignore[arg-type]
+            ),
+            uplink_loss_probability=float(
+                payload.get("uplink_loss_probability", 0.0)  # type: ignore[arg-type]
+            ),
+            uplink_max_retries=int(
+                payload.get("uplink_max_retries", 3)  # type: ignore[arg-type]
+            ),
+            uplink_timeout=float(
+                payload.get("uplink_timeout", 16_384.0)  # type: ignore[arg-type]
+            ),
+            uplink_backoff=float(
+                payload.get("uplink_backoff", 2.0)  # type: ignore[arg-type]
+            ),
+        )
 
     @classmethod
     def seeded(

@@ -221,6 +221,16 @@ class MetricsCollector:
         else:
             raise ValueError(f"unknown abort cause {cause!r}")
 
+    def counters(self) -> Dict[str, float]:
+        """Every scalar tally by name (the :attr:`_COUNTER_FIELDS` set).
+
+        The public face of the merge/signature counter set: scenario
+        envelopes, recorded-trace signatures and reports read this
+        instead of reaching into the private field list.  Values are
+        ints except ``listening_bits`` (an integer-valued float).
+        """
+        return {name: getattr(self, name) for name in self._COUNTER_FIELDS}
+
     @property
     def abort_causes(self) -> Dict[str, int]:
         """Aborted attempts by cause (conflict, staleness, crash, uplink)."""

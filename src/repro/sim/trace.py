@@ -79,6 +79,35 @@ class TraceRecorder:
         self.cycles.append(broadcast)
 
     # ------------------------------------------------------------------
+    def observables(self) -> Dict[str, object]:
+        """The recorded run as a JSON-ready structure (record/replay).
+
+        Everything a replay must reproduce bit-for-bit where the
+        determinism contract promises it: each committed client
+        transaction's id, validated ``(obj, cycle)`` read pairs and
+        observed versions (object, writer, commit cycle, value repr),
+        plus the per-client session commit order.  Broadcast images are
+        deliberately excluded — they are audit-run-only and huge; the
+        client-visible records above already pin the run's outcome.
+        """
+        return {
+            "client_commits": [
+                {
+                    "tid": record.tid,
+                    "reads": [[obj, cycle] for obj, cycle in record.reads],
+                    "versions": [
+                        [v.obj, v.writer, v.commit_cycle, repr(v.value)]
+                        for v in record.versions
+                    ],
+                }
+                for record in self.client_commits
+            ],
+            "session_commits": [
+                [client_id, tid] for client_id, tid in self.session_commits
+            ],
+        }
+
+    # ------------------------------------------------------------------
     def build_history(self, database: Database) -> History:
         """The induced global history, reads placed by provenance.
 

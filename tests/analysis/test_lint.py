@@ -390,7 +390,21 @@ class TestDriver:
     def test_collect_files_deterministic(self):
         files = collect_files([REPO_SRC])
         assert files == sorted(files)
-        assert all(f.endswith(".py") for f in files)
+        assert all(
+            f.endswith((".py", ".yaml", ".yml", ".json")) for f in files
+        )
+
+    def test_collect_files_includes_scenario_library(self):
+        files = collect_files([REPO_SRC])
+        yaml_files = [f for f in files if f.endswith((".yaml", ".yml"))]
+        assert yaml_files, "scenario library files must be collected"
+        assert all("scenarios" in f for f in yaml_files)
+
+    def test_collect_files_skips_data_outside_scenarios(self, tmp_path):
+        (tmp_path / "notes.yaml").write_text("a: 1\n")
+        (tmp_path / "mod.py").write_text("__all__ = []\n")
+        files = collect_files([str(tmp_path)])
+        assert files == [str(tmp_path / "mod.py")]
 
     def test_main_exit_codes(self, tmp_path, capsys):
         clean = write_fixture(tmp_path, "clean.py", "__all__ = []\n")
@@ -421,3 +435,97 @@ class TestDriver:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "0 findings" in proc.stdout
+
+
+GOOD_SCENARIO = """\
+format_version: 1
+name: lint-fixture
+description: a valid scenario for the lint tests
+seed: 3
+protocols: [f-matrix]
+config:
+  num_objects: 20
+  num_client_transactions: 2
+"""
+
+UNSEEDED_SCENARIO = """\
+format_version: 1
+name: lint-fixture
+protocols: [f-matrix]
+"""
+
+
+class TestScenarioFileRule:
+    """REP011: scenario data files must validate and name a seed."""
+
+    def _scenario_file(self, tmp_path, text, name="fixture.yaml"):
+        root = tmp_path / "scenarios"
+        root.mkdir(exist_ok=True)
+        path = root / name
+        path.write_text(text)
+        return str(path)
+
+    def test_valid_scenario_is_clean(self, tmp_path):
+        path = self._scenario_file(tmp_path, GOOD_SCENARIO)
+        assert lint_file(path) == []
+
+    def test_missing_seed_flagged_at_top(self, tmp_path):
+        path = self._scenario_file(tmp_path, UNSEEDED_SCENARIO)
+        findings = lint_file(path)
+        assert [f.rule for f in findings] == ["REP011"]
+        assert "seed" in findings[0].message
+
+    def test_seed_line_is_pinpointed(self, tmp_path):
+        bad = GOOD_SCENARIO.replace("seed: 3", 'seed: "three"')
+        path = self._scenario_file(tmp_path, bad)
+        findings = lint_file(path)
+        assert [f.rule for f in findings] == ["REP011"]
+        assert findings[0].line == 4  # the seed: line
+        assert findings[0].format().startswith(f"{path}:4:")
+
+    def test_unparseable_yaml_flagged(self, tmp_path):
+        path = self._scenario_file(tmp_path, "format_version: [unclosed\n")
+        findings = lint_file(path)
+        assert [f.rule for f in findings] == ["REP011"]
+
+    def test_invalid_json_scenario_flagged(self, tmp_path):
+        path = self._scenario_file(tmp_path, "{not json", name="bad.json")
+        findings = lint_file(path)
+        assert [f.rule for f in findings] == ["REP011"]
+        assert "JSON" in findings[0].message
+
+    def test_schema_violation_flagged(self, tmp_path):
+        bad = GOOD_SCENARIO + "wokload: {}\n"
+        path = self._scenario_file(tmp_path, bad)
+        findings = lint_file(path)
+        assert [f.rule for f in findings] == ["REP011"]
+        assert "unknown top-level key" in findings[0].message
+
+    def test_noqa_suppresses_in_yaml(self, tmp_path):
+        bad = UNSEEDED_SCENARIO.replace(
+            "name: lint-fixture", "name: lint-fixture  # noqa: REP011"
+        )
+        # the finding is pinned to line 1 (no seed line to point at);
+        # suppress there instead
+        bad = "# noqa: REP011\n" + bad
+        path = self._scenario_file(tmp_path, bad)
+        assert lint_file(path) == []
+
+    def test_main_exit_codes_for_scenario_dirs(self, tmp_path, capsys):
+        self._scenario_file(tmp_path, UNSEEDED_SCENARIO)
+        assert main([str(tmp_path / "scenarios")]) == 1
+        assert "REP011" in capsys.readouterr().out
+
+    def test_shipped_library_is_clean(self):
+        library = str(
+            Path(REPO_SRC) / "scenarios" / "library"
+        )
+        findings = lint_paths([library])
+        assert findings == [], [f.format() for f in findings]
+
+    def test_python_files_in_scenarios_package_unaffected(self, tmp_path):
+        root = tmp_path / "scenarios"
+        root.mkdir()
+        clean = root / "mod.py"
+        clean.write_text("__all__ = []\n")
+        assert lint_file(str(clean)) == []

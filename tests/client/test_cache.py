@@ -49,6 +49,34 @@ class TestLookup:
 
 
 class TestEvictionAndCapacity:
+    def test_capacity_drops_expired_before_fresh(self, broadcast):
+        """Regression: a dead entry must not outlive a fresh one.
+
+        Object 0 carries a tight per-object bound and is long expired by
+        the time the cache fills; the old policy still evicted by oldest
+        ``cached_at`` — dropping the *fresh* object 0's neighbour is
+        wrong when a dead entry is present.
+        """
+        cache = QuasiCache(1e9, capacity=2)
+        cache.set_currency_bound(1, 10.0)
+        cache.insert(broadcast, 0, now=0.0)   # fresh forever (default bound)
+        cache.insert(broadcast, 1, now=5.0)   # expired after t=15
+        cache.insert(broadcast, 2, now=100.0)  # at capacity: 1 is dead
+        # the dead entry goes; object 0 — the *oldest* cached_at, which the
+        # old policy wrongly evicted — survives
+        assert 1 not in cache
+        assert 0 in cache and 2 in cache
+
+    def test_capacity_mixed_bounds_evicts_stalest_fresh(self, broadcast):
+        """With no expired entry present the old policy still applies."""
+        cache = QuasiCache(1e9, capacity=2)
+        cache.set_currency_bound(0, 500.0)
+        cache.insert(broadcast, 0, now=0.0)
+        cache.insert(broadcast, 1, now=10.0)
+        cache.insert(broadcast, 2, now=100.0)  # both fresh: oldest goes
+        assert 0 not in cache
+        assert 1 in cache and 2 in cache
+
     def test_capacity_evicts_stalest(self, broadcast):
         cache = QuasiCache(1e9, capacity=2)
         cache.insert(broadcast, 0, now=0.0)
@@ -92,3 +120,24 @@ class TestEntryAsBroadcast:
         bc = entry.as_broadcast()
         with pytest.raises(Exception):
             _ = bc.version(3)
+
+    def test_objects_below_cached_id_raise_index_error(self, broadcast):
+        """Regression: ids below the cached one were padded with ``None``.
+
+        The documented contract is ``IndexError`` at access time; the
+        padding used to hand ``None`` back silently, failing later with
+        an opaque ``AttributeError`` far from the mis-indexed read.
+        """
+        cache = QuasiCache(1e9)
+        entry = cache.insert(broadcast, 2, now=0.0)
+        bc = entry.as_broadcast()
+        with pytest.raises(IndexError, match="holds only object 2"):
+            bc.version(0)
+        with pytest.raises(IndexError, match="read off the air"):
+            bc.version(1)
+
+    def test_objects_above_cached_id_raise_index_error(self, broadcast):
+        cache = QuasiCache(1e9)
+        entry = cache.insert(broadcast, 1, now=0.0)
+        with pytest.raises(IndexError, match="holds only object 1"):
+            entry.as_broadcast().version(3)

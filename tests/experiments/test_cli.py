@@ -139,3 +139,51 @@ class TestAuditConsistency:
         assert verdict["ok"] is False
         assert verdict["witness"]["transactions"]
         assert verdict["witness"]["description"]
+
+
+class TestExitCodeContract:
+    """The documented CLI exit-code contract, asserted as one suite.
+
+    Module docstring contract: 0 = every requested check passed,
+    1 = a violation / envelope miss / replay divergence, 2 = usage
+    errors.  Both entry points (repro-experiments, repro-audit) honour
+    it, including the scenario subcommand.
+    """
+
+    def test_experiments_success_is_0(self):
+        assert main(["list"]) == 0
+
+    def test_experiments_usage_error_is_2(self):
+        with pytest.raises(SystemExit) as err:
+            main(["no-such-experiment"])
+        assert err.value.code == 2
+
+    def test_experiments_bad_flag_is_2(self):
+        with pytest.raises(SystemExit) as err:
+            main(["fig2", "--no-such-flag"])
+        assert err.value.code == 2
+
+    def test_scenario_envelope_miss_is_1(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.scenarios import get_scenario
+
+        doc = get_scenario("quasi-cache-fleet").to_dict()
+        doc["envelope"] = {"commits": [100000, 200000]}
+        path = tmp_path / "impossible.json"
+        path.write_text(_json.dumps(doc))
+        assert main(["scenario", "run", str(path)]) == 1
+        assert "ENVELOPE MISS" in capsys.readouterr().out
+
+    def test_scenario_usage_error_is_2(self):
+        with pytest.raises(SystemExit) as err:
+            main(["scenario", "run", "no-such-scenario"])
+        assert err.value.code == 2
+
+    def test_audit_success_is_0(self):
+        assert audit_main(AUDIT_ARGS) == 0
+
+    def test_audit_usage_error_is_2(self):
+        with pytest.raises(SystemExit) as err:
+            audit_main(["--invariant", "no-such-invariant"])
+        assert err.value.code == 2

@@ -77,6 +77,35 @@ class TestRunSweep:
         with pytest.raises(KeyError):
             series.response_at(99)
 
+    def test_float_derived_x_lookup(self):
+        """Regression: sweep x values produced by float arithmetic.
+
+        ``0.1 * 3`` is not bit-equal to ``0.3``; the old exact-``==``
+        lookup raised KeyError on a point that plainly exists.  The
+        lookup must tolerate representation noise while still rejecting
+        genuinely absent points.
+        """
+        values = [0.1 * k for k in (1, 2, 3)]  # 0.30000000000000004 at k=3
+        result = run_sweep(
+            "demo", "fraction", tiny_base(), "measure_fraction", values,
+            ["f-matrix"],
+            config_hook=lambda cfg, v: cfg.replace(measure_fraction=v),
+        )
+        series = result.series["f-matrix"]
+        assert series.response_at(0.3) == series.points[2].response_time.mean
+        assert series.restart_at(0.2) == series.points[1].restart_ratio.mean
+        assert result.ordering_holds(0.3, "f-matrix", "f-matrix")
+        with pytest.raises(KeyError):
+            series.response_at(0.31)
+        with pytest.raises(KeyError):
+            series.restart_at(99.0)
+
+    def test_empty_series_lookup_raises(self):
+        from repro.experiments.sweeps import Series
+
+        with pytest.raises(KeyError):
+            Series("f-matrix").response_at(1.0)
+
     def test_ordering_holds_helper(self):
         result = run_sweep(
             "demo", "x", tiny_base(), "client_txn_length", [3], ["f-matrix"]

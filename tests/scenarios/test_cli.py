@@ -1,0 +1,144 @@
+"""The scenario CLI and its exit-code contract (0 / 1 / 2)."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.scenarios import get_scenario
+from repro.scenarios.cli import scenario_main
+
+
+def write_scenario(tmp_path, name, **patches):
+    """A small fast scenario file derived from the library anchor."""
+    doc = get_scenario("quasi-cache-fleet").to_dict()
+    doc["name"] = name
+    doc.update(patches)
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestList:
+    def test_list_exits_0_and_names_library(self, capsys):
+        assert scenario_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1-baseline" in out and "commuter-doze" in out
+
+    def test_routed_through_experiments_main(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        assert "table1-baseline" in capsys.readouterr().out
+
+
+class TestRunExitCodes:
+    def test_passing_envelope_exits_0(self, capsys):
+        assert scenario_main(["run", "quasi-cache-fleet"]) == 0
+        out = capsys.readouterr().out
+        assert "envelope ok" in out
+
+    def test_envelope_miss_exits_1(self, capsys, tmp_path):
+        path = write_scenario(
+            tmp_path, "impossible", envelope={"commits": [100000, 200000]}
+        )
+        assert scenario_main(["run", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "ENVELOPE MISS" in out and "commits" in out
+
+    def test_no_envelope_flag_suppresses_the_failure(self, tmp_path):
+        path = write_scenario(
+            tmp_path, "impossible", envelope={"commits": [100000, 200000]}
+        )
+        assert scenario_main(["run", str(path), "--no-envelope"]) == 0
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            scenario_main(["run", "no-such-scenario"])
+        assert err.value.code == 2
+
+    def test_no_names_and_no_all_exits_2(self):
+        with pytest.raises(SystemExit) as err:
+            scenario_main(["run"])
+        assert err.value.code == 2
+
+    def test_names_plus_all_exits_2(self):
+        with pytest.raises(SystemExit) as err:
+            scenario_main(["run", "commuter-doze", "--all"])
+        assert err.value.code == 2
+
+    def test_unknown_verb_exits_2(self):
+        with pytest.raises(SystemExit) as err:
+            scenario_main(["frobnicate"])
+        assert err.value.code == 2
+
+    def test_output_json_summary(self, capsys, tmp_path):
+        out_path = tmp_path / "summary.json"
+        code = scenario_main(
+            ["run", "quasi-cache-fleet", "--output", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["ok"] is True
+        run = payload["runs"][0]
+        assert run["scenario"] == "quasi-cache-fleet"
+        assert run["envelope"]["ok"] is True
+        assert run["metrics"]["commits"] == 48
+
+    def test_protocol_override(self, capsys):
+        code = scenario_main(
+            ["run", "quasi-cache-fleet", "--protocol", "datacycle"]
+        )
+        # the envelope was calibrated for f-matrix but commits and cache
+        # bounds still hold under datacycle's serial validation
+        out = capsys.readouterr().out
+        assert "quasi-cache-fleet/datacycle" in out
+        assert code in (0, 1)
+
+
+class TestRecordReplayExitCodes:
+    def test_record_then_replay_exits_0(self, capsys, tmp_path):
+        trace_path = tmp_path / "fleet.trace.json"
+        assert scenario_main(
+            ["record", "quasi-cache-fleet", "--out", str(trace_path)]
+        ) == 0
+        assert trace_path.exists()
+        assert scenario_main(["replay", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+
+    def test_cross_executor_replay_exits_0(self, capsys, tmp_path):
+        trace_path = tmp_path / "fleet.trace.json"
+        scenario_main(
+            ["record", "quasi-cache-fleet", "--out", str(trace_path),
+             "--executor", "process"]
+        )
+        assert scenario_main(
+            ["replay", str(trace_path), "--executor", "cohort"]
+        ) == 0
+
+    def test_divergent_replay_exits_1(self, capsys, tmp_path):
+        trace_path = tmp_path / "fleet.trace.json"
+        scenario_main(
+            ["record", "quasi-cache-fleet", "--out", str(trace_path)]
+        )
+        payload = json.loads(trace_path.read_text())
+        # re-seed the recorded config: the file still loads (the digest
+        # covers observables, not the config) but the replay diverges
+        payload["config"]["seed"] = payload["config"]["seed"] + 1
+        trace_path.write_text(json.dumps(payload))
+        assert scenario_main(["replay", str(trace_path)]) == 1
+        out = capsys.readouterr().out
+        assert "divergence" in out
+
+    def test_corrupt_trace_exits_2(self, tmp_path):
+        trace_path = tmp_path / "bad.trace.json"
+        trace_path.write_text("{not json")
+        with pytest.raises(SystemExit) as err:
+            scenario_main(["replay", str(trace_path)])
+        assert err.value.code == 2
+
+    def test_record_unknown_scenario_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            scenario_main(
+                ["record", "no-such", "--out", str(tmp_path / "x.json")]
+            )
+        assert err.value.code == 2

@@ -1,0 +1,103 @@
+"""Metric envelopes (repro.scenarios.envelope)."""
+
+import pytest
+
+from repro.scenarios import (
+    ENVELOPE_METRICS,
+    EnvelopeReport,
+    MetricBound,
+    MetricEnvelope,
+    scenario_metrics,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.simulation import run_simulation
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    config = SimulationConfig(
+        num_objects=20, num_client_transactions=6, object_size_bits=512, seed=3
+    )
+    return run_simulation(config)
+
+
+class TestMetricCatalogue:
+    def test_counters_are_all_exposed(self):
+        from repro.sim.metrics import MetricsCollector
+
+        for name in MetricsCollector._COUNTER_FIELDS:
+            assert name in ENVELOPE_METRICS
+
+    def test_derived_metrics_present(self):
+        for name in (
+            "response_time_mean",
+            "restart_ratio_mean",
+            "commits",
+            "cache_hit_rate",
+            "sim_time",
+        ):
+            assert name in ENVELOPE_METRICS
+
+    def test_scenario_metrics_covers_catalogue(self, small_result):
+        values = scenario_metrics(small_result)
+        assert set(values) == set(ENVELOPE_METRICS)
+        assert values["commits"] == 6
+        assert values["response_time_mean"] > 0
+
+    def test_cache_hit_rate_zero_without_cache(self, small_result):
+        assert scenario_metrics(small_result)["cache_hit_rate"] == 0
+
+
+class TestBounds:
+    def test_inverted_bound_rejected(self):
+        with pytest.raises(ValueError, match="lo"):
+            MetricBound(2.0, 1.0)
+
+    def test_contains_is_inclusive(self):
+        bound = MetricBound(1.0, 2.0)
+        assert bound.contains(1.0) and bound.contains(2.0)
+        assert not bound.contains(0.999) and not bound.contains(2.001)
+
+
+class TestEnvelope:
+    def test_check_passes_inside_bounds(self, small_result):
+        envelope = MetricEnvelope.from_dict(
+            {"commits": [6, 6], "restart_ratio_mean": [0, 10]}
+        )
+        report = envelope.check(small_result)
+        assert isinstance(report, EnvelopeReport)
+        assert report.ok
+        assert not report.misses
+        assert "ok" in report.describe()
+
+    def test_check_reports_misses(self, small_result):
+        envelope = MetricEnvelope.from_dict({"commits": [1000, 2000]})
+        report = envelope.check(small_result)
+        assert not report.ok
+        assert [miss.metric for miss in report.misses] == ["commits"]
+        assert "MISS" in report.describe()
+        assert report.to_dict()["ok"] is False
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown envelope metric"):
+            MetricEnvelope.from_dict({"nope": [0, 1]})
+
+    def test_duplicate_metric_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MetricEnvelope(
+                (
+                    ("commits", MetricBound(0.0, 1.0)),
+                    ("commits", MetricBound(0.0, 2.0)),
+                )
+            )
+
+    def test_malformed_bounds_rejected(self):
+        for bad in ([1], [1, 2, 3], "x", [1, "a"]):
+            with pytest.raises(ValueError, match=r"\[lo, hi\]"):
+                MetricEnvelope.from_dict({"commits": bad})
+
+    def test_round_trip(self):
+        envelope = MetricEnvelope.from_dict(
+            {"commits": [6, 6], "sim_time": [0, 1e9]}
+        )
+        assert MetricEnvelope.from_dict(envelope.to_dict()) == envelope

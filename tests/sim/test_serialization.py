@@ -1,0 +1,102 @@
+"""Config/fault/metrics serialization hooks (scenario + trace plumbing)."""
+
+import json
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.faults import DozeInterval, FaultPlan, ServerCrash
+from repro.sim.simulation import run_simulation
+
+
+def full_plan():
+    return FaultPlan(
+        doze=(DozeInterval(0, 100.0, 50.0), DozeInterval(1, 10.0, 5.0)),
+        crashes=(ServerCrash(5000.0, 100.0),),
+        uplink_loss_probability=0.25,
+        uplink_max_retries=5,
+        uplink_timeout=1000.0,
+        uplink_backoff=1.5,
+    )
+
+
+class TestFaultPlanRoundTrip:
+    def test_round_trip(self):
+        plan = full_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_round_trip_through_json(self):
+        plan = full_plan()
+        rebuilt = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert rebuilt == plan
+
+    def test_defaults_fill_missing_keys(self):
+        plan = FaultPlan.from_dict({})
+        assert plan == FaultPlan()
+
+    def test_malformed_doze_rejected(self):
+        with pytest.raises(ValueError, match="doze"):
+            FaultPlan.from_dict({"doze": "nope"})
+
+    def test_interval_and_crash_round_trip(self):
+        interval = DozeInterval(2, 7.5, 3.25)
+        assert DozeInterval.from_dict(interval.to_dict()) == interval
+        crash = ServerCrash(123.0, 45.0)
+        assert ServerCrash.from_dict(crash.to_dict()) == crash
+
+
+class TestConfigRoundTrip:
+    def test_plain_config(self):
+        config = SimulationConfig(num_objects=40, seed=5)
+        assert SimulationConfig.from_dict(config.to_dict()) == config
+
+    def test_config_with_faults_through_json(self):
+        config = SimulationConfig(
+            num_clients=2,
+            client_executor="cohort",
+            faults=full_plan(),
+        )
+        payload = json.loads(json.dumps(config.to_dict()))
+        rebuilt = SimulationConfig.from_dict(payload)
+        assert rebuilt == config
+        assert rebuilt.fingerprint() == config.fingerprint()
+
+    def test_unknown_key_rejected(self):
+        payload = SimulationConfig().to_dict()
+        payload["num_objcts"] = 10
+        with pytest.raises(ValueError, match="num_objcts"):
+            SimulationConfig.from_dict(payload)
+
+    def test_non_mapping_faults_rejected(self):
+        payload = SimulationConfig().to_dict()
+        payload["faults"] = "nope"
+        with pytest.raises(ValueError, match="faults"):
+            SimulationConfig.from_dict(payload)
+
+    def test_existing_plan_instance_accepted(self):
+        payload = SimulationConfig(
+            num_clients=2, client_executor="cohort"
+        ).to_dict()
+        payload["faults"] = full_plan()
+        config = SimulationConfig.from_dict(payload)
+        assert config.faults == full_plan()
+
+
+class TestRunObservables:
+    def test_counters_and_observables_are_json_ready(self):
+        config = SimulationConfig(
+            num_objects=20,
+            num_client_transactions=4,
+            object_size_bits=512,
+            seed=3,
+        )
+        result = run_simulation(config, collect_trace=True)
+        counters = result.metrics.counters()
+        # 4 txns x 4 reads committed, plus any restarted attempts' reads
+        assert counters["reads_delivered"] >= 16
+        assert result.metrics.commit_count == 4
+        observables = result.trace.observables()
+        # a faithful JSON round-trip: lists/strings/numbers only
+        assert json.loads(json.dumps(observables)) == observables
+        assert len(observables["client_commits"]) == 4
+        assert observables["session_commits"][0][0] == 0
